@@ -1,0 +1,59 @@
+// Figure 3 (paper section 6): block-transfer *latency* for approaches 1-3,
+// swept over transfer size. Latency = the sender's request to the moment
+// the receiver reads the completion message from its regular queue.
+//
+// Expected shape (paper): approach 1 (aP-managed) is the slowest at every
+// size — the data crosses each node's memory bus twice and the aP pays
+// per-message software overhead; approach 2 (sP-managed) is faster;
+// approach 3 (hardware block operations) is fastest.
+//
+// The "Time" column is simulated latency (UseManualTime).
+#include "bench/bench_util.hpp"
+
+namespace sv::bench {
+namespace {
+
+void BM_Fig3_Latency(benchmark::State& state) {
+  const int approach = static_cast<int>(state.range(0));
+  const auto len = static_cast<std::uint32_t>(state.range(1));
+
+  sys::Machine machine(xfer_machine_params());
+  xfer::BlockTransferHarness harness(machine);
+
+  sim::Tick total = 0;
+  std::uint64_t runs = 0;
+  for (auto _ : state) {
+    const auto res = harness.run(approach, xfer_spec(len, false));
+    if (!res.ok) {
+      state.SkipWithError("transfer failed verification");
+      return;
+    }
+    report_sim_time(state, res.latency());
+    total += res.latency();
+    ++runs;
+  }
+  state.counters["latency_us"] =
+      static_cast<double>(total) / static_cast<double>(runs) / 1e6;
+  state.counters["approach"] = approach;
+  state.SetBytesProcessed(static_cast<std::int64_t>(len) *
+                          static_cast<std::int64_t>(runs));
+}
+
+void Fig3Args(benchmark::internal::Benchmark* b) {
+  for (int approach = 1; approach <= 3; ++approach) {
+    for (std::int64_t len : {64, 256, 1024, 4096, 16384, 65536}) {
+      b->Args({approach, len});
+    }
+  }
+}
+
+BENCHMARK(BM_Fig3_Latency)
+    ->Apply(Fig3Args)
+    ->UseManualTime()
+    ->Iterations(3)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace sv::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,191 @@
+// Ext-G: Arctic fat-tree substrate characterization.
+//
+//   - per-hop latency: one packet across 1-hop and 3-hop paths,
+//   - link bandwidth: a saturating stream between two nodes (the 160
+//     MB/s/direction wire limit, minus header overhead),
+//   - priority isolation: high-priority transit time with and without a
+//     low-priority background flood sharing the path,
+//   - bisection scaling: all-to-all on 4/16-node trees.
+#include <cstring>
+
+#include "bench/bench_util.hpp"
+#include "net/fat_tree.hpp"
+
+namespace sv::bench {
+namespace {
+
+struct NetRig {
+  explicit NetRig(std::size_t nodes, unsigned radix = 4) {
+    net::FatTreeNetwork::Params p;
+    p.nodes = nodes;
+    p.radix = radix;
+    net = std::make_unique<net::FatTreeNetwork>(kernel, "net", p);
+    arrivals.resize(nodes);
+    for (sim::NodeId n = 0; n < nodes; ++n) {
+      net->set_endpoint(n, [this, n](net::Packet&& pkt) {
+        ++arrivals[n];
+        last_arrival = kernel.now();
+        if (pkt.priority == net::kPriorityHigh) {
+          last_high_arrival = kernel.now();
+        }
+        net->consume_done(n, pkt.priority);
+      });
+    }
+  }
+
+  net::Packet packet(sim::NodeId src, sim::NodeId dst, std::size_t bytes,
+                     std::uint8_t prio = net::kPriorityLow) {
+    net::Packet p;
+    p.src = src;
+    p.dest = dst;
+    p.dest_queue = 1;
+    p.priority = prio;
+    p.payload.resize(bytes);
+    return p;
+  }
+
+  sim::Kernel kernel;
+  std::unique_ptr<net::FatTreeNetwork> net;
+  std::vector<std::uint64_t> arrivals;
+  sim::Tick last_arrival = 0;
+  sim::Tick last_high_arrival = 0;
+};
+
+void BM_Net_OneHopLatency(benchmark::State& state) {
+  NetRig rig(4);
+  for (auto _ : state) {
+    const sim::Tick t0 = rig.kernel.now();
+    const auto before = rig.arrivals[1];
+    sim::spawn(rig.net->inject(rig.packet(0, 1, 88)));
+    sys::run_until(rig.kernel, [&] { return rig.arrivals[1] > before; },
+                   t0 + sim::kMillisecond);
+    report_sim_time(state, rig.last_arrival - t0);
+  }
+  state.counters["hops"] = rig.net->hops(0, 1);
+}
+
+void BM_Net_ThreeHopLatency(benchmark::State& state) {
+  NetRig rig(16);
+  for (auto _ : state) {
+    const sim::Tick t0 = rig.kernel.now();
+    const auto before = rig.arrivals[15];
+    sim::spawn(rig.net->inject(rig.packet(0, 15, 88)));
+    sys::run_until(rig.kernel, [&] { return rig.arrivals[15] > before; },
+                   t0 + sim::kMillisecond);
+    report_sim_time(state, rig.last_arrival - t0);
+  }
+  state.counters["hops"] = rig.net->hops(0, 15);
+}
+
+void BM_Net_LinkBandwidth(benchmark::State& state) {
+  constexpr int kPackets = 500;
+  constexpr std::size_t kBytes = 88;
+  for (auto _ : state) {
+    NetRig rig(4);
+    const sim::Tick t0 = rig.kernel.now();
+    sim::spawn([](NetRig* r) -> sim::Co<void> {
+      for (int i = 0; i < kPackets; ++i) {
+        co_await r->net->inject(r->packet(0, 1, kBytes));
+      }
+    }(&rig));
+    sys::run_until(rig.kernel,
+                   [&] { return rig.arrivals[1] == kPackets; },
+                   t0 + 100 * sim::kMillisecond);
+    const sim::Tick dur = rig.last_arrival - t0;
+    report_sim_time(state, dur);
+    state.counters["payload_MBps"] =
+        static_cast<double>(kPackets) * kBytes /
+        (static_cast<double>(dur) * kPsToSec) / 1e6;
+    state.counters["wire_MBps"] =
+        static_cast<double>(kPackets) * (kBytes + net::kHeaderBytes) /
+        (static_cast<double>(dur) * kPsToSec) / 1e6;
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(kPackets * kBytes * state.iterations()));
+}
+
+void BM_Net_PriorityIsolation(benchmark::State& state) {
+  const bool flood = state.range(0) != 0;
+  for (auto _ : state) {
+    NetRig rig(16);
+    if (flood) {
+      // Saturate the 0->15 path with low-priority traffic.
+      sim::spawn([](NetRig* r) -> sim::Co<void> {
+        for (int i = 0; i < 200; ++i) {
+          co_await r->net->inject(
+              r->packet(0, 15, 88, net::kPriorityLow));
+        }
+      }(&rig));
+      rig.kernel.run_until(rig.kernel.now() + 20 * sim::kMicrosecond);
+    }
+    const sim::Tick t0 = rig.kernel.now();
+    rig.last_high_arrival = sim::kTickInvalid;
+    sim::spawn(rig.net->inject(rig.packet(0, 15, 8, net::kPriorityHigh)));
+    sys::run_until(rig.kernel,
+                   [&] { return rig.last_high_arrival != sim::kTickInvalid; },
+                   t0 + 100 * sim::kMillisecond);
+    report_sim_time(state, rig.last_high_arrival - t0);
+  }
+  state.counters["flooded"] = flood ? 1 : 0;
+}
+
+void BM_Net_AllToAll(benchmark::State& state) {
+  const auto nodes = static_cast<std::size_t>(state.range(0));
+  constexpr int kPerPair = 4;
+  for (auto _ : state) {
+    NetRig rig(nodes);
+    const sim::Tick t0 = rig.kernel.now();
+    for (sim::NodeId s = 0; s < nodes; ++s) {
+      sim::spawn([](NetRig* r, sim::NodeId src,
+                    std::size_t n) -> sim::Co<void> {
+        for (int i = 0; i < kPerPair; ++i) {
+          for (sim::NodeId d = 0; d < n; ++d) {
+            if (d != src) {
+              co_await r->net->inject(r->packet(src, d, 88));
+            }
+          }
+        }
+      }(&rig, s, nodes));
+    }
+    const std::uint64_t expected = nodes * (nodes - 1) * kPerPair;
+    sys::run_until(rig.kernel,
+                   [&] {
+                     std::uint64_t total = 0;
+                     for (auto a : rig.arrivals) {
+                       total += a;
+                     }
+                     return total == expected;
+                   },
+                   t0 + 1000 * sim::kMillisecond);
+    const sim::Tick dur = rig.kernel.now() - t0;
+    report_sim_time(state, dur);
+    state.counters["agg_payload_MBps"] =
+        static_cast<double>(expected) * 88 /
+        (static_cast<double>(dur) * kPsToSec) / 1e6;
+  }
+  state.counters["nodes"] = static_cast<double>(nodes);
+}
+
+BENCHMARK(BM_Net_OneHopLatency)->UseManualTime()->Iterations(3)->Unit(
+    benchmark::kMicrosecond);
+BENCHMARK(BM_Net_ThreeHopLatency)->UseManualTime()->Iterations(3)->Unit(
+    benchmark::kMicrosecond);
+BENCHMARK(BM_Net_LinkBandwidth)->UseManualTime()->Iterations(2)->Unit(
+    benchmark::kMicrosecond);
+BENCHMARK(BM_Net_PriorityIsolation)
+    ->Arg(0)
+    ->Arg(1)
+    ->UseManualTime()
+    ->Iterations(2)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Net_AllToAll)
+    ->Arg(4)
+    ->Arg(16)
+    ->UseManualTime()
+    ->Iterations(1)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace sv::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,60 @@
+// Ext-C (paper section 6): processor occupancy per block-transfer approach
+// — the paper's qualitative claims made quantitative.
+//
+// Expected shape:
+//   approach 1: sender/receiver aP occupancy dominates (they touch the
+//               data and run the protocol); sP ~ 0.
+//   approach 2: "a significant impact on sP occupancy" on both sides;
+//               aP ~ 0 after the request message.
+//   approach 3: "occupancy of both the aP and sP is minimal to nil".
+//
+// Counters report busy microseconds for each processor during one 16 KB
+// transfer, plus occupancy fractions of the transfer latency.
+#include "bench/bench_util.hpp"
+
+namespace sv::bench {
+namespace {
+
+void BM_Occupancy(benchmark::State& state) {
+  const int approach = static_cast<int>(state.range(0));
+  const std::uint32_t len = 16384;
+
+  sys::Machine machine(xfer_machine_params());
+  xfer::BlockTransferHarness harness(machine);
+
+  xfer::TransferResult last{};
+  for (auto _ : state) {
+    last = harness.run(approach, xfer_spec(len, approach >= 4));
+    if (!last.ok) {
+      state.SkipWithError("transfer failed verification");
+      return;
+    }
+    report_sim_time(state, last.latency());
+  }
+  const auto us = [](sim::Tick t) { return static_cast<double>(t) / 1e6; };
+  const double lat = us(last.latency());
+  state.counters["tx_aP_us"] = us(last.sender_ap_busy);
+  state.counters["rx_aP_us"] = us(last.receiver_ap_busy);
+  state.counters["tx_sP_us"] = us(last.sender_sp_busy);
+  state.counters["rx_sP_us"] = us(last.receiver_sp_busy);
+  state.counters["tx_sP_occ"] =
+      lat > 0 ? us(last.sender_sp_busy) / lat : 0.0;
+  state.counters["tx_aP_occ"] =
+      lat > 0 ? us(last.sender_ap_busy) / lat : 0.0;
+  state.counters["approach"] = approach;
+}
+
+BENCHMARK(BM_Occupancy)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(3)
+    ->Arg(4)
+    ->Arg(5)
+    ->UseManualTime()
+    ->Iterations(2)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace sv::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,259 @@
+// Ext-B (paper section 5): cost of the default communication mechanisms.
+//
+//   - one-way latency: Express (one uncached store / one uncached load),
+//     Basic (compose + flush + pointer update), TagOn (+48/+80 bytes of
+//     SRAM data appended by CTRL),
+//   - round-trip (ping-pong) latency for Basic and Express,
+//   - streaming throughput for Basic messages and for TagOn (which raises
+//     the data moved per descriptor),
+//   - DMA end-to-end latency (firmware + block engines).
+//
+// Expected shape: Express < Basic one-way latency; TagOn moves more bytes
+// per descriptor at nearly the same descriptor cost.
+#include <cstring>
+
+#include "bench/bench_util.hpp"
+#include "msg/dma.hpp"
+
+namespace sv::bench {
+namespace {
+
+struct Rig {
+  explicit Rig(std::size_t nodes = 2)
+      : machine(default_machine_params(nodes)),
+        ep0(machine.node(0).make_endpoint()),
+        ep1(machine.node(1).make_endpoint()),
+        map(machine.addr_map()) {}
+
+  sim::Tick run_until_flag(bool* flag) {
+    const sim::Tick t0 = machine.kernel().now();
+    if (!sys::run_until(machine.kernel(), [=] { return *flag; },
+                        t0 + 500 * sim::kMillisecond)) {
+      return 0;
+    }
+    return machine.kernel().now() - t0;
+  }
+
+  sys::Machine machine;
+  msg::Endpoint ep0, ep1;
+  msg::AddressMap map;
+};
+
+void BM_OneWay_Express(benchmark::State& state) {
+  Rig rig;
+  for (auto _ : state) {
+    bool done = false;
+    rig.machine.node(0).ap().run(rig.ep0.send_express(
+        static_cast<std::uint8_t>(rig.map.express(1)), 1, 0x12345678));
+    rig.machine.node(1).ap().run(
+        [](msg::Endpoint* ep, bool* d) -> sim::Co<void> {
+          (void)co_await ep->recv_express();
+          *d = true;
+        }(&rig.ep1, &done));
+    report_sim_time(state, rig.run_until_flag(&done));
+  }
+}
+
+void BM_OneWay_Basic(benchmark::State& state) {
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  Rig rig;
+  std::vector<std::byte> payload(bytes);
+  for (auto _ : state) {
+    bool done = false;
+    rig.machine.node(0).ap().run(
+        rig.ep0.send(rig.map.user0(1), payload));
+    rig.machine.node(1).ap().run(
+        [](msg::Endpoint* ep, bool* d) -> sim::Co<void> {
+          (void)co_await ep->recv();
+          *d = true;
+        }(&rig.ep1, &done));
+    report_sim_time(state, rig.run_until_flag(&done));
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(bytes * state.iterations()));
+}
+
+void BM_OneWay_TagOn(benchmark::State& state) {
+  const bool large = state.range(0) != 0;
+  Rig rig;
+  std::vector<std::byte> inline_data(8);
+  std::vector<std::byte> staged(large ? niu::kTagOnLargeBytes
+                                      : niu::kTagOnSmallBytes);
+  for (auto _ : state) {
+    bool done = false;
+    rig.machine.node(0).ap().run(
+        [](msg::Endpoint* ep, std::uint16_t vdest,
+           const std::vector<std::byte>* inl,
+           const std::vector<std::byte>* stg, bool large_) -> sim::Co<void> {
+          co_await ep->stage(ep->staging_base(), *stg);
+          co_await ep->send_tagon(vdest, *inl, ep->staging_base(), large_);
+        }(&rig.ep0, rig.map.user0(1), &inline_data, &staged, large));
+    rig.machine.node(1).ap().run(
+        [](msg::Endpoint* ep, bool* d) -> sim::Co<void> {
+          (void)co_await ep->recv();
+          *d = true;
+        }(&rig.ep1, &done));
+    report_sim_time(state, rig.run_until_flag(&done));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(
+      (8 + staged.size()) * state.iterations()));
+}
+
+/// Interrupt-driven receive vs. the polled path: the interrupt adds ISR
+/// entry/exit cost to the one-way latency but frees the aP while idle.
+void BM_OneWay_Basic_Interrupt(benchmark::State& state) {
+  Rig rig;
+  std::vector<std::byte> payload(32);
+  for (auto _ : state) {
+    bool done = false;
+    rig.machine.node(1).ap().run(
+        [](msg::Endpoint* ep, bool* d) -> sim::Co<void> {
+          (void)co_await ep->recv_interrupt();
+          *d = true;
+        }(&rig.ep1, &done));
+    rig.machine.node(0).ap().run(
+        rig.ep0.send(rig.map.user0(1), payload));
+    report_sim_time(state, rig.run_until_flag(&done));
+  }
+}
+
+void BM_PingPong_Basic(benchmark::State& state) {
+  Rig rig;
+  constexpr int kRounds = 20;
+  for (auto _ : state) {
+    bool done = false;
+    rig.machine.node(0).ap().run(
+        [](msg::Endpoint* ep, std::uint16_t peer, bool* d) -> sim::Co<void> {
+          std::byte b[8] = {};
+          for (int i = 0; i < kRounds; ++i) {
+            co_await ep->send(peer, b);
+            (void)co_await ep->recv();
+          }
+          *d = true;
+        }(&rig.ep0, rig.map.user0(1), &done));
+    rig.machine.node(1).ap().run(
+        [](msg::Endpoint* ep, std::uint16_t peer) -> sim::Co<void> {
+          std::byte b[8] = {};
+          for (int i = 0; i < kRounds; ++i) {
+            (void)co_await ep->recv();
+            co_await ep->send(peer, b);
+          }
+        }(&rig.ep1, rig.map.user0(0)));
+    report_sim_time(state, rig.run_until_flag(&done) / kRounds);
+  }
+  state.counters["rounds"] = kRounds;
+}
+
+void BM_PingPong_Express(benchmark::State& state) {
+  Rig rig;
+  constexpr int kRounds = 20;
+  for (auto _ : state) {
+    bool done = false;
+    rig.machine.node(0).ap().run(
+        [](msg::Endpoint* ep, std::uint8_t peer, bool* d) -> sim::Co<void> {
+          for (int i = 0; i < kRounds; ++i) {
+            co_await ep->send_express(peer, 0, 1);
+            (void)co_await ep->recv_express();
+          }
+          *d = true;
+        }(&rig.ep0, static_cast<std::uint8_t>(rig.map.express(1)), &done));
+    rig.machine.node(1).ap().run(
+        [](msg::Endpoint* ep, std::uint8_t peer) -> sim::Co<void> {
+          for (int i = 0; i < kRounds; ++i) {
+            (void)co_await ep->recv_express();
+            co_await ep->send_express(peer, 0, 2);
+          }
+        }(&rig.ep1, static_cast<std::uint8_t>(rig.map.express(0))));
+    report_sim_time(state, rig.run_until_flag(&done) / kRounds);
+  }
+  state.counters["rounds"] = kRounds;
+}
+
+void BM_Stream_Basic(benchmark::State& state) {
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  Rig rig;
+  constexpr int kCount = 100;
+  std::vector<std::byte> payload(bytes);
+  for (auto _ : state) {
+    bool done = false;
+    rig.machine.node(0).ap().run(
+        [](msg::Endpoint* ep, std::uint16_t peer,
+           const std::vector<std::byte>* p) -> sim::Co<void> {
+          for (int i = 0; i < kCount; ++i) {
+            co_await ep->send(peer, *p);
+          }
+        }(&rig.ep0, rig.map.user0(1), &payload));
+    rig.machine.node(1).ap().run(
+        [](msg::Endpoint* ep, bool* d) -> sim::Co<void> {
+          for (int i = 0; i < kCount; ++i) {
+            (void)co_await ep->recv();
+          }
+          *d = true;
+        }(&rig.ep1, &done));
+    report_sim_time(state, rig.run_until_flag(&done));
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(bytes * kCount * state.iterations()));
+}
+
+void BM_Dma_EndToEnd(benchmark::State& state) {
+  const auto len = static_cast<std::uint32_t>(state.range(0));
+  Rig rig;
+  for (auto _ : state) {
+    bool done = false;
+    rig.machine.node(0).ap().run(
+        [](Rig* r, std::uint32_t n) -> sim::Co<void> {
+          co_await msg::dma_write(r->ep0, r->map, 0, 1, 0x100000, 0x200000,
+                                  n, msg::AddressMap::kUser0L, 1);
+        }(&rig, len));
+    rig.machine.node(1).ap().run(
+        [](msg::Endpoint* ep, bool* d) -> sim::Co<void> {
+          (void)co_await ep->recv();
+          *d = true;
+        }(&rig.ep1, &done));
+    report_sim_time(state, rig.run_until_flag(&done));
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(len * state.iterations()));
+}
+
+BENCHMARK(BM_OneWay_Express)->UseManualTime()->Iterations(3)->Unit(
+    benchmark::kMicrosecond);
+BENCHMARK(BM_OneWay_Basic)
+    ->Arg(8)
+    ->Arg(32)
+    ->Arg(88)
+    ->UseManualTime()
+    ->Iterations(3)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_OneWay_TagOn)
+    ->Arg(0)
+    ->Arg(1)
+    ->UseManualTime()
+    ->Iterations(3)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_OneWay_Basic_Interrupt)
+    ->UseManualTime()
+    ->Iterations(3)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_PingPong_Basic)->UseManualTime()->Iterations(2)->Unit(
+    benchmark::kMicrosecond);
+BENCHMARK(BM_PingPong_Express)->UseManualTime()->Iterations(2)->Unit(
+    benchmark::kMicrosecond);
+BENCHMARK(BM_Stream_Basic)
+    ->Arg(8)
+    ->Arg(88)
+    ->UseManualTime()
+    ->Iterations(2)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Dma_EndToEnd)
+    ->Arg(4096)
+    ->Arg(65536)
+    ->UseManualTime()
+    ->Iterations(2)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace sv::bench
+
+BENCHMARK_MAIN();

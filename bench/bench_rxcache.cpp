@@ -1,0 +1,163 @@
+// Ext-D (paper section 4): receive-queue caching.
+//
+// The NIU caches a small number of logical receive queues in hardware;
+// messages for unbound queues are diverted to the miss queue and spilled
+// by firmware into DRAM-resident images. This bench measures the delivered
+// message cost for:
+//   - a hardware-resident (cached) queue,
+//   - a DRAM-resident (missed) queue, including firmware service,
+// and sweeps the number of distinct logical destinations to show the
+// multitasking story: a handful of hot queues stay in hardware while a
+// large namespace overflows gracefully.
+#include "bench/bench_util.hpp"
+#include "msg/dram_queue.hpp"
+
+namespace sv::bench {
+namespace {
+
+void BM_RxCached(benchmark::State& state) {
+  sys::Machine machine(default_machine_params(2));
+  auto ep0 = machine.node(0).make_endpoint();
+  auto ep1 = machine.node(1).make_endpoint();
+  const auto map = machine.addr_map();
+  constexpr int kCount = 50;
+
+  for (auto _ : state) {
+    bool done = false;
+    machine.node(0).ap().run(
+        [](msg::Endpoint* ep, std::uint16_t peer) -> sim::Co<void> {
+          std::byte b[16] = {};
+          for (int i = 0; i < kCount; ++i) {
+            co_await ep->send(peer, b);
+          }
+        }(&ep0, map.user0(1)));
+    machine.node(1).ap().run(
+        [](msg::Endpoint* ep, bool* d) -> sim::Co<void> {
+          for (int i = 0; i < kCount; ++i) {
+            (void)co_await ep->recv();
+          }
+          *d = true;
+        }(&ep1, &done));
+    const sim::Tick t0 = machine.kernel().now();
+    sys::run_until(machine.kernel(), [&] { return done; },
+                   t0 + 500 * sim::kMillisecond);
+    report_sim_time(state, (machine.kernel().now() - t0) / kCount);
+  }
+  state.counters["per_msg"] = 1;
+}
+
+void BM_RxMissToDram(benchmark::State& state) {
+  sys::Machine machine(default_machine_params(2));
+  auto ep0 = machine.node(0).make_endpoint();
+  constexpr net::QueueId kSpill = 0x0700;
+  fw::DramQueueDesc desc;
+  desc.base = 0x400000;
+  desc.slots = 64;
+  machine.node(1).miss_service()->register_queue(kSpill, desc);
+  msg::DramQueue dq(machine.node(1).ap(), desc);
+  constexpr int kCount = 50;
+
+  for (auto _ : state) {
+    bool done = false;
+    machine.node(0).ap().run(
+        [](msg::Endpoint* ep) -> sim::Co<void> {
+          std::byte b[16] = {};
+          for (int i = 0; i < kCount; ++i) {
+            co_await ep->send_raw(1, kSpill, b);
+          }
+        }(&ep0));
+    machine.node(1).ap().run(
+        [](msg::DramQueue* q, bool* d) -> sim::Co<void> {
+          for (int i = 0; i < kCount; ++i) {
+            (void)co_await q->recv();
+          }
+          *d = true;
+        }(&dq, &done));
+    const sim::Tick t0 = machine.kernel().now();
+    sys::run_until(machine.kernel(), [&] { return done; },
+                   t0 + 500 * sim::kMillisecond);
+    report_sim_time(state, (machine.kernel().now() - t0) / kCount);
+  }
+  state.counters["per_msg"] = 1;
+}
+
+/// Sweep the number of distinct logical destinations: the first 3 map to
+/// hardware queues (user0/user1/express namespaces aside, we reuse user0
+/// and user1 plus DRAM-resident spill queues beyond that).
+void BM_RxQueueNamespaceSweep(benchmark::State& state) {
+  const auto num_queues = static_cast<std::size_t>(state.range(0));
+  sys::Machine machine(default_machine_params(2));
+  auto ep0 = machine.node(0).make_endpoint();
+  constexpr int kPerQueue = 10;
+
+  // Lossless spill: hold arriving messages when the miss queue is full
+  // instead of dropping (backpressures the sender through the network).
+  machine.node(1).niu().ctrl().rxq(niu::kMissRxQueue).full_policy =
+      niu::RxFullPolicy::kHold;
+
+  // Register DRAM images for every logical id we will hit; ids 0x0800+i.
+  std::vector<msg::DramQueue> queues;
+  for (std::size_t i = 0; i < num_queues; ++i) {
+    fw::DramQueueDesc desc;
+    desc.base = 0x400000 + i * 0x4000;
+    desc.slots = 32;
+    machine.node(1).miss_service()->register_queue(
+        static_cast<net::QueueId>(0x0800 + i), desc);
+    queues.emplace_back(machine.node(1).ap(), desc);
+  }
+
+  for (auto _ : state) {
+    bool sent = false;
+    machine.node(0).ap().run(
+        [](msg::Endpoint* ep, std::size_t nq, bool* d) -> sim::Co<void> {
+          std::byte b[16] = {};
+          for (int i = 0; i < kPerQueue; ++i) {
+            for (std::size_t q = 0; q < nq; ++q) {
+              co_await ep->send_raw(
+                  1, static_cast<net::QueueId>(0x0800 + q), b);
+            }
+          }
+          *d = true;
+        }(&ep0, num_queues, &sent));
+
+    std::size_t drained = 0;
+    machine.node(1).ap().run(
+        [](std::vector<msg::DramQueue>* qs, std::size_t nq,
+           std::size_t* n) -> sim::Co<void> {
+          for (int i = 0; i < kPerQueue; ++i) {
+            for (std::size_t q = 0; q < nq; ++q) {
+              (void)co_await (*qs)[q].recv();
+              ++*n;
+            }
+          }
+        }(&queues, num_queues, &drained));
+
+    const sim::Tick t0 = machine.kernel().now();
+    const std::size_t want = num_queues * kPerQueue;
+    sys::run_until(machine.kernel(), [&] { return drained == want; },
+                   t0 + 2000 * sim::kMillisecond);
+    report_sim_time(state,
+                    (machine.kernel().now() - t0) / (want > 0 ? want : 1));
+  }
+  state.counters["logical_queues"] = static_cast<double>(num_queues);
+  state.counters["fw_serviced"] = static_cast<double>(
+      machine.node(1).miss_service()->serviced().value());
+}
+
+BENCHMARK(BM_RxCached)->UseManualTime()->Iterations(2)->Unit(
+    benchmark::kMicrosecond);
+BENCHMARK(BM_RxMissToDram)->UseManualTime()->Iterations(2)->Unit(
+    benchmark::kMicrosecond);
+BENCHMARK(BM_RxQueueNamespaceSweep)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(32)
+    ->UseManualTime()
+    ->Iterations(1)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace sv::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,164 @@
+// Ext-F (paper section 5): shared-memory mechanism costs.
+//
+//   - S-COMA hit: once a line is resident in the local DRAM L3, access is
+//     at local memory speed (the mechanism's whole point),
+//   - S-COMA remote read/write miss: full firmware protocol round trip,
+//     with the data grant executed by the requester's NIU hardware,
+//   - NUMA remote read: forwarded to the sP, satisfied via kSupplyLoad,
+//   - NUMA local read: firmware satisfies from local backing DRAM.
+//
+// Expected shape: scoma_hit << numa_local < numa_remote ~ scoma_miss; a
+// re-read after a scoma miss is a hit, while every NUMA access pays the
+// firmware toll again.
+#include "bench/bench_util.hpp"
+#include "shm/numa_region.hpp"
+#include "shm/scoma_region.hpp"
+
+namespace sv::bench {
+namespace {
+
+struct Timer {
+  explicit Timer(sys::Machine& m) : machine(m) {}
+
+  sim::Tick time(sim::NodeId node, sim::Co<void> co) {
+    bool done = false;
+    const sim::Tick t0 = machine.kernel().now();
+    machine.node(node).ap().run(
+        [](sim::Co<void> c, bool* d) -> sim::Co<void> {
+          co_await std::move(c);
+          *d = true;
+        }(std::move(co), &done));
+    sys::run_until(machine.kernel(), [&] { return done; },
+                   t0 + 500 * sim::kMillisecond);
+    return machine.kernel().now() - t0;
+  }
+
+  sys::Machine& machine;
+};
+
+void BM_ScomaHit(benchmark::State& state) {
+  sys::Machine machine(default_machine_params(2));
+  Timer timer(machine);
+  shm::ScomaRegion sc(machine.node(1).ap());
+  // Warm: fetch the line once (page 0x1000 homes on node 1... use an
+  // offset homed on node 0 so node 1's access is a genuine remote line).
+  (void)timer.time(1, [](shm::ScomaRegion* r) -> sim::Co<void> {
+    (void)co_await r->load<std::uint32_t>(0x100);
+  }(&sc));
+  for (auto _ : state) {
+    // Evict from the aP cache but keep the DRAM L3 copy: still a hit.
+    machine.node(1).cache().purge_range(niu::kScomaBase + 0x100, 4);
+    report_sim_time(
+        state, timer.time(1, [](shm::ScomaRegion* r) -> sim::Co<void> {
+          (void)co_await r->load<std::uint32_t>(0x100);
+        }(&sc)));
+  }
+}
+
+void BM_ScomaReadMiss(benchmark::State& state) {
+  sys::Machine machine(default_machine_params(2));
+  Timer timer(machine);
+  shm::ScomaRegion sc(machine.node(1).ap());
+  mem::Addr off = 0x2000;  // fresh line per iteration, homed on node 0
+  for (auto _ : state) {
+    report_sim_time(
+        state,
+        timer.time(1, [](shm::ScomaRegion* r, mem::Addr o) -> sim::Co<void> {
+          (void)co_await r->load<std::uint32_t>(o);
+        }(&sc, off)));
+    off += mem::kLineBytes;
+  }
+  state.counters["grants"] = static_cast<double>(
+      machine.node(0).scoma()->stats().grants.value());
+}
+
+void BM_ScomaWriteMiss(benchmark::State& state) {
+  sys::Machine machine(default_machine_params(2));
+  Timer timer(machine);
+  shm::ScomaRegion sc(machine.node(1).ap());
+  mem::Addr off = 0x8000;
+  for (auto _ : state) {
+    report_sim_time(
+        state,
+        timer.time(1, [](shm::ScomaRegion* r, mem::Addr o) -> sim::Co<void> {
+          co_await r->store<std::uint32_t>(o, 1);
+        }(&sc, off)));
+    off += mem::kLineBytes;
+  }
+}
+
+/// Ext-I ablation: the aBIU hardware miss send (paper section 5) versus
+/// the default firmware-mediated miss path.
+void BM_ScomaReadMissHwSend(benchmark::State& state) {
+  sys::Machine machine(default_machine_params(2));
+  for (sim::NodeId n = 0; n < machine.size(); ++n) {
+    machine.node(n).scoma()->enable_hw_miss_send();
+  }
+  Timer timer(machine);
+  shm::ScomaRegion sc(machine.node(1).ap());
+  mem::Addr off = 0x2000;
+  for (auto _ : state) {
+    report_sim_time(
+        state,
+        timer.time(1, [](shm::ScomaRegion* r, mem::Addr o) -> sim::Co<void> {
+          (void)co_await r->load<std::uint32_t>(o);
+        }(&sc, off)));
+    off += mem::kLineBytes;
+  }
+}
+
+void BM_NumaLocalRead(benchmark::State& state) {
+  sys::Machine machine(default_machine_params(2));
+  Timer timer(machine);
+  shm::NumaRegion numa(machine.node(0).ap());
+  for (auto _ : state) {
+    report_sim_time(
+        state, timer.time(0, [](shm::NumaRegion* r) -> sim::Co<void> {
+          (void)co_await r->load<std::uint32_t>(0x40);  // home: node 0
+        }(&numa)));
+  }
+}
+
+void BM_NumaRemoteRead(benchmark::State& state) {
+  sys::Machine machine(default_machine_params(2));
+  Timer timer(machine);
+  shm::NumaRegion numa(machine.node(0).ap());
+  for (auto _ : state) {
+    report_sim_time(
+        state, timer.time(0, [](shm::NumaRegion* r) -> sim::Co<void> {
+          (void)co_await r->load<std::uint32_t>(4096 + 0x40);  // node 1
+        }(&numa)));
+  }
+}
+
+void BM_NumaRemoteWrite(benchmark::State& state) {
+  sys::Machine machine(default_machine_params(2));
+  Timer timer(machine);
+  shm::NumaRegion numa(machine.node(0).ap());
+  for (auto _ : state) {
+    report_sim_time(
+        state, timer.time(0, [](shm::NumaRegion* r) -> sim::Co<void> {
+          co_await r->store<std::uint32_t>(4096 + 0x80, 7);  // posted
+        }(&numa)));
+  }
+}
+
+BENCHMARK(BM_ScomaHit)->UseManualTime()->Iterations(3)->Unit(
+    benchmark::kMicrosecond);
+BENCHMARK(BM_ScomaReadMiss)->UseManualTime()->Iterations(3)->Unit(
+    benchmark::kMicrosecond);
+BENCHMARK(BM_ScomaWriteMiss)->UseManualTime()->Iterations(3)->Unit(
+    benchmark::kMicrosecond);
+BENCHMARK(BM_ScomaReadMissHwSend)->UseManualTime()->Iterations(3)->Unit(
+    benchmark::kMicrosecond);
+BENCHMARK(BM_NumaLocalRead)->UseManualTime()->Iterations(3)->Unit(
+    benchmark::kMicrosecond);
+BENCHMARK(BM_NumaRemoteRead)->UseManualTime()->Iterations(3)->Unit(
+    benchmark::kMicrosecond);
+BENCHMARK(BM_NumaRemoteWrite)->UseManualTime()->Iterations(3)->Unit(
+    benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace sv::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,51 @@
+// Shared benchmark plumbing.
+//
+// All benches report *simulated* time: each measurement runs the cycle-level
+// machine and feeds the simulated duration to google-benchmark through
+// SetIterationTime (UseManualTime), so the "Time" column of every row is
+// simulated latency, and bytes_per_second is simulated bandwidth. Runs are
+// deterministic; one iteration per row is meaningful.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include "sys/experiment.hpp"
+#include "xfer/approaches.hpp"
+
+namespace sv::bench {
+
+inline constexpr double kPsToSec = 1e-12;
+
+inline sys::Machine::Params default_machine_params(std::size_t nodes = 2) {
+  sys::Machine::Params p;
+  p.nodes = nodes;
+  p.node.dram_size = 16ull * 1024 * 1024;
+  p.node.scoma_size = 2ull * 1024 * 1024;
+  p.node.numa_backing_size = 16ull * 1024 * 1024;
+  return p;
+}
+
+/// Machine configured for the block-transfer experiments (approaches 4/5
+/// manage cls state themselves, so the S-COMA protocol engine is off).
+inline sys::Machine::Params xfer_machine_params() {
+  auto p = default_machine_params(2);
+  p.node.enable_scoma = false;
+  return p;
+}
+
+inline xfer::TransferSpec xfer_spec(std::uint32_t len, bool scoma_dst) {
+  xfer::TransferSpec s;
+  s.sender = 0;
+  s.receiver = 1;
+  s.src = 0x0010'0000;
+  s.dst = scoma_dst ? niu::kScomaBase + 0x8000 : 0x0040'0000;
+  s.len = len;
+  return s;
+}
+
+/// Report a simulated duration for this benchmark iteration.
+inline void report_sim_time(benchmark::State& state, sim::Tick ps) {
+  state.SetIterationTime(static_cast<double>(ps) * kPsToSec);
+}
+
+}  // namespace sv::bench

@@ -1,0 +1,121 @@
+// Ext-K: mixed system workload — the paper's closing argument is that a
+// real platform permits "system workload level studies", not single-
+// program simulations. This bench measures what background load does to a
+// foreground ping-pong when both share one NIU through protected queues:
+//
+//   - idle machine (baseline),
+//   - concurrent DMA stream (block engines + remote command queue busy),
+//   - concurrent S-COMA protocol traffic (sP + clsSRAM busy),
+//   - both.
+//
+// The protected multi-queue design bounds the interference: the foreground
+// never loses messages and its latency grows by contention only.
+#include <cstring>
+
+#include "bench/bench_util.hpp"
+#include "msg/dma.hpp"
+#include "shm/scoma_region.hpp"
+
+namespace sv::bench {
+namespace {
+
+enum Load : int {
+  kIdle = 0,
+  kDma = 1,
+  kScoma = 2,
+  kBoth = 3,
+};
+
+void BM_Workload_PingPongUnderLoad(benchmark::State& state) {
+  const int load = static_cast<int>(state.range(0));
+  sys::Machine machine(default_machine_params(2));
+  auto ep0 = machine.node(0).make_endpoint();
+  auto ep1 = machine.node(1).make_endpoint();
+  auto bg0 = machine.node(0).make_endpoint1();
+  const auto map = machine.addr_map();
+
+  bool stop = false;
+
+  // Background DMA stream: back-to-back 8 KB pushes on the user1 queue.
+  if (load & kDma) {
+    machine.node(0).ap().run(
+        [](msg::Endpoint* ep, msg::AddressMap map, bool* stop_) -> sim::Co<void> {
+          std::uint32_t tag = 0x1000;
+          while (!*stop_) {
+            co_await msg::dma_write(*ep, map, 0, 1, 0x100000, 0x200000,
+                                    8192, niu::kNoNotify, tag,
+                                    /*sender_done_queue=*/
+                                    msg::AddressMap::kUser1L);
+            ++tag;
+            (void)co_await ep->recv();  // sender-side completion
+          }
+        }(&bg0, map, &stop));
+  }
+
+  // Background S-COMA churn: node 1 ping-pongs line ownership with home 0.
+  if (load & kScoma) {
+    machine.node(1).ap().run(
+        [](sys::Machine* m, bool* stop_) -> sim::Co<void> {
+          shm::ScomaRegion sc(m->node(1).ap());
+          std::uint32_t i = 0;
+          while (!*stop_) {
+            co_await sc.store<std::uint32_t>(0x40 * (1 + i % 16), i);
+            ++i;
+          }
+        }(&machine, &stop));
+  }
+
+  // Let the background reach steady state.
+  machine.kernel().run_until(machine.kernel().now() +
+                             200 * sim::kMicrosecond);
+
+  constexpr int kRounds = 30;
+  for (auto _ : state) {
+    bool done = false;
+    machine.node(0).ap().run(
+        [](msg::Endpoint* ep, std::uint16_t peer, bool* d) -> sim::Co<void> {
+          std::byte b[8] = {};
+          for (int i = 0; i < kRounds; ++i) {
+            co_await ep->send(peer, b);
+            (void)co_await ep->recv();
+          }
+          *d = true;
+        }(&ep0, map.user0(1), &done));
+    machine.node(1).ap().run(
+        [](msg::Endpoint* ep, std::uint16_t peer) -> sim::Co<void> {
+          std::byte b[8] = {};
+          for (int i = 0; i < kRounds; ++i) {
+            (void)co_await ep->recv();
+            co_await ep->send(peer, b);
+          }
+        }(&ep1, map.user0(0)));
+    const sim::Tick t0 = machine.kernel().now();
+    if (!sys::run_until(machine.kernel(), [&] { return done; },
+                        t0 + 500 * sim::kMillisecond)) {
+      state.SkipWithError("foreground timed out under load");
+      return;
+    }
+    report_sim_time(state, (machine.kernel().now() - t0) / kRounds);
+  }
+  stop = true;
+  machine.kernel().run_until(machine.kernel().now() +
+                             500 * sim::kMicrosecond);
+  state.counters["load"] = load;
+  state.counters["rx_dropped"] = static_cast<double>(
+      machine.node(0).niu().ctrl().stats().rx_dropped.value() +
+      machine.node(1).niu().ctrl().stats().rx_dropped.value());
+}
+
+BENCHMARK(BM_Workload_PingPongUnderLoad)
+    ->Arg(kIdle)
+    ->Arg(kDma)
+    ->Arg(kScoma)
+    ->Arg(kBoth)
+    ->UseManualTime()
+    ->Iterations(2)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace sv::bench
+
+BENCHMARK_MAIN();

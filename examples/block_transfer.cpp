@@ -1,0 +1,76 @@
+// Block-transfer showcase: run the paper's five approaches (section 6) on
+// one machine and print latency / bandwidth / occupancy tables — a
+// human-readable rendition of Figures 3 and 4 plus the occupancy story.
+//
+//   $ ./block_transfer [size_bytes]
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "sys/experiment.hpp"
+#include "xfer/approaches.hpp"
+
+using namespace sv;
+
+namespace {
+
+const char* kApproachNames[] = {
+    "",
+    "1: aP-managed (Basic msgs)",
+    "2: sP-managed (cmd queues + TagOn)",
+    "3: hardware block ops",
+    "4: blk ops + optimistic S-COMA (fw)",
+    "5: blk ops + optimistic S-COMA (hw)",
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint32_t base_len =
+      argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 16384;
+
+  sys::Machine::Params params;
+  params.nodes = 2;
+  params.node.enable_scoma = false;  // approaches 4/5 manage cls themselves
+  sys::Machine machine(params);
+  xfer::BlockTransferHarness harness(machine);
+
+  std::printf("Block memory transfer, %u bytes, node 0 -> node 1\n\n",
+              base_len);
+
+  sys::Table table({"approach", "notify_us", "consumed_us", "BW_MB/s",
+                    "tx_aP_us", "tx_sP_us", "rx_sP_us", "verified"});
+  for (int approach = 1; approach <= 5; ++approach) {
+    xfer::TransferSpec spec;
+    spec.sender = 0;
+    spec.receiver = 1;
+    spec.src = 0x0010'0000;
+    spec.dst = approach >= 4 ? niu::kScomaBase + 0x8000 : 0x0040'0000;
+    spec.len = base_len;
+
+    xfer::RunOptions opt;
+    opt.consume = true;
+    const auto res = harness.run(approach, spec, opt);
+
+    table.add_row({kApproachNames[approach],
+                   sys::Table::fmt_us(res.latency()),
+                   sys::Table::fmt_us(res.consume_time - res.start),
+                   sys::Table::fmt_mbps(base_len, res.latency()),
+                   sys::Table::fmt_us(res.sender_ap_busy),
+                   sys::Table::fmt_us(res.sender_sp_busy),
+                   sys::Table::fmt_us(res.receiver_sp_busy),
+                   res.ok ? "yes" : "NO"});
+  }
+  table.print(std::cout);
+
+  std::printf(
+      "\nShapes to notice (paper section 6):\n"
+      "  - approach 1 is slowest: data crosses each aP bus twice and the\n"
+      "    sender aP is busy nearly the whole time;\n"
+      "  - approach 2 moves the burden to the sPs (tx_sP/rx_sP columns);\n"
+      "  - approach 3 is fastest with both processors nearly idle;\n"
+      "  - approaches 4/5 'notify' after ~1/4 of the data -- the receiver\n"
+      "    unblocks early and rides clsSRAM retries for late lines; 5 does\n"
+      "    the line-opening in aBIU hardware (rx_sP drops to ~0).\n");
+  return 0;
+}

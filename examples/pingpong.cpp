@@ -1,0 +1,97 @@
+// MPI-lite example: ping-pong latency, bandwidth, barrier and allreduce
+// over msg::Channel (the "usual MPI interface" veneer of paper layer 0).
+//
+//   $ ./pingpong [rounds]
+#include <cstdio>
+#include <cstdlib>
+
+#include "msg/channel.hpp"
+#include "sys/experiment.hpp"
+#include "sys/machine.hpp"
+
+using namespace sv;
+
+namespace {
+
+sim::Co<void> rank0(sys::Machine* machine, int rounds, bool* done) {
+  auto& node = machine->node(0);
+  msg::Endpoint ep = node.make_endpoint();
+  msg::Channel ch(ep, machine->addr_map(), 0);
+  auto& kernel = machine->kernel();
+
+  // Ping-pong: 8-byte payloads.
+  const sim::Tick t0 = kernel.now();
+  for (int i = 0; i < rounds; ++i) {
+    co_await ch.send_value<std::uint64_t>(1, /*tag=*/1, i);
+    (void)co_await ch.recv_value<std::uint64_t>(1, /*tag=*/2);
+  }
+  const sim::Tick rtt = (kernel.now() - t0) / rounds;
+  std::printf("ping-pong:   %d rounds, round trip %.2f us (one-way ~%.2f)\n",
+              rounds, static_cast<double>(rtt) / 1e6,
+              static_cast<double>(rtt) / 2e6);
+
+  // Bandwidth: one large fragmented send.
+  std::vector<std::byte> big(64 * 1024);
+  const sim::Tick t1 = kernel.now();
+  co_await ch.send(1, /*tag=*/3, big);
+  (void)co_await ch.recv_value<std::uint8_t>(1, /*tag=*/4);  // ack
+  const sim::Tick dur = kernel.now() - t1;
+  std::printf("bandwidth:   64 KiB in %.2f us = %.1f MB/s "
+              "(fragmented Basic messages)\n",
+              static_cast<double>(dur) / 1e6,
+              static_cast<double>(big.size()) /
+                  (static_cast<double>(dur) * 1e-12) / 1e6);
+
+  // Collectives.
+  const sim::Tick t2 = kernel.now();
+  co_await ch.barrier();
+  std::printf("barrier:     %.2f us across %zu ranks\n",
+              static_cast<double>(kernel.now() - t2) / 1e6, ch.size());
+
+  const std::uint64_t sum = co_await ch.allreduce_sum(1);
+  std::printf("allreduce:   sum of ones = %llu (expected %zu)\n",
+              static_cast<unsigned long long>(sum), ch.size());
+  *done = true;
+}
+
+sim::Co<void> rank_other(sys::Machine* machine, sim::NodeId self,
+                         int rounds) {
+  auto& node = machine->node(self);
+  msg::Endpoint ep = node.make_endpoint();
+  msg::Channel ch(ep, machine->addr_map(), self);
+
+  if (self == 1) {
+    for (int i = 0; i < rounds; ++i) {
+      (void)co_await ch.recv_value<std::uint64_t>(0, 1);
+      co_await ch.send_value<std::uint64_t>(0, 2, i);
+    }
+    (void)co_await ch.recv(0, 3);
+    co_await ch.send_value<std::uint8_t>(0, 4, 1);
+  }
+  co_await ch.barrier();
+  (void)co_await ch.allreduce_sum(1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int rounds = argc > 1 ? std::atoi(argv[1]) : 50;
+
+  sys::Machine::Params params;
+  params.nodes = 4;
+  sys::Machine machine(params);
+  std::printf("MPI-lite on %zu nodes (Arctic fat tree)\n\n", machine.size());
+
+  bool done = false;
+  machine.node(0).ap().run(rank0(&machine, rounds, &done));
+  for (sim::NodeId n = 1; n < machine.size(); ++n) {
+    machine.node(n).ap().run(rank_other(&machine, n, rounds));
+  }
+
+  if (!sys::run_until(machine.kernel(), [&] { return done; },
+                      2000 * sim::kMillisecond)) {
+    std::printf("timed out!\n");
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,204 @@
+// A real parallel application on the simulated machine: 1-D-decomposed
+// Jacobi relaxation with halo exchange, the workload class the paper's
+// introduction motivates ("general parallel application execution").
+//
+// Each of 4 nodes owns a slab of a 1-D rod and iterates
+//     u'[i] = (u[i-1] + u[i+1]) / 2
+// exchanging one-element halos with its neighbours every step. Two
+// exchange strategies run on identical problems:
+//
+//   messages  halos travel as Basic messages (low latency, small data),
+//   dma       halos travel as DMA writes into the neighbour's memory
+//             (the am_store pattern; overkill at this halo size — the
+//             comparison shows exactly the crossover the mechanisms make).
+//
+//   $ ./stencil [iters]
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "msg/channel.hpp"
+#include "msg/dma.hpp"
+#include "sys/experiment.hpp"
+#include "sys/machine.hpp"
+
+using namespace sv;
+
+namespace {
+
+constexpr std::size_t kNodes = 4;
+constexpr std::size_t kLocal = 256;            // doubles per node
+constexpr mem::Addr kSlab = 0x0030'0000;        // local slab base
+constexpr mem::Addr kHaloLeft = 0x0038'0000;    // incoming halos (32 B each)
+constexpr mem::Addr kHaloRight = 0x0038'0020;
+
+enum : std::uint32_t { kTagLeft = 1, kTagRight = 2 };
+
+struct Result {
+  double checksum = 0;
+  sim::Tick elapsed = 0;
+};
+
+/// One worker; `use_dma` selects the halo-exchange strategy.
+sim::Co<void> worker(sys::Machine* machine, sim::NodeId self, int iters,
+                     bool use_dma, Result* result, int* done) {
+  auto& node = machine->node(self);
+  auto& ap = node.ap();
+  msg::Endpoint ep = node.make_endpoint();
+  msg::Channel ch(ep, machine->addr_map(), self);
+  const auto map = machine->addr_map();
+
+  const bool has_left = self > 0;
+  const bool has_right = self + 1 < kNodes;
+
+  // Initialize the slab: a step function that relaxation smooths out.
+  for (std::size_t i = 0; i < kLocal; ++i) {
+    const double v = (self * kLocal + i) < (kNodes * kLocal / 2) ? 1.0 : 0.0;
+    co_await ap.store_scalar<double>(kSlab + i * 8, v);
+  }
+  co_await ch.barrier();
+
+  const sim::Tick t0 = machine->kernel().now();
+  for (int it = 0; it < iters; ++it) {
+    // Publish boundary elements to the neighbours.
+    const double left_val = co_await ap.load_scalar<double>(kSlab);
+    const double right_val =
+        co_await ap.load_scalar<double>(kSlab + (kLocal - 1) * 8);
+    if (use_dma) {
+      // Write the halo value into our DRAM staging line, DMA it into the
+      // neighbour's halo slot, completion into their user queue.
+      if (has_left) {
+        co_await ap.store_scalar<double>(kHaloRight + 0x40, left_val);
+        co_await ap.flush_range(kHaloRight + 0x40, 32);
+        co_await msg::dma_write(ep, map, self, self - 1,
+                                kHaloRight + 0x40, kHaloRight, 32,
+                                msg::AddressMap::kUser0L, kTagRight);
+      }
+      if (has_right) {
+        co_await ap.store_scalar<double>(kHaloLeft + 0x40, right_val);
+        co_await ap.flush_range(kHaloLeft + 0x40, 32);
+        co_await msg::dma_write(ep, map, self, self + 1,
+                                kHaloLeft + 0x40, kHaloLeft, 32,
+                                msg::AddressMap::kUser0L, kTagLeft);
+      }
+      // Collect completion notifications, then read the landed halos.
+      int expected = (has_left ? 1 : 0) + (has_right ? 1 : 0);
+      for (int k = 0; k < expected; ++k) {
+        (void)co_await ep.recv();
+      }
+    } else {
+      if (has_left) {
+        co_await ch.send_value<double>(self - 1, kTagRight, left_val);
+      }
+      if (has_right) {
+        co_await ch.send_value<double>(self + 1, kTagLeft, right_val);
+      }
+    }
+
+    double halo_left = 0.0, halo_right = 0.0;
+    if (use_dma) {
+      co_await ap.invalidate_line(kHaloLeft);
+      co_await ap.invalidate_line(kHaloRight);
+      if (has_left) {
+        halo_left = co_await ap.load_scalar<double>(kHaloLeft);
+      }
+      if (has_right) {
+        halo_right = co_await ap.load_scalar<double>(kHaloRight);
+      }
+    } else {
+      if (has_left) {
+        halo_left = co_await ch.recv_value<double>(self - 1, kTagLeft);
+      }
+      if (has_right) {
+        halo_right = co_await ch.recv_value<double>(self + 1, kTagRight);
+      }
+    }
+    if (!has_left) {
+      halo_left = 1.0;  // fixed boundary condition
+    }
+    if (!has_right) {
+      halo_right = 0.0;
+    }
+
+    // Relax: read the row, write the next one in place (Jacobi on a copy
+    // held in registers — two passes keep it simple and deterministic).
+    double prev = halo_left;
+    double cur = co_await ap.load_scalar<double>(kSlab);
+    for (std::size_t i = 0; i < kLocal; ++i) {
+      const double next = i + 1 < kLocal
+                              ? co_await ap.load_scalar<double>(
+                                    kSlab + (i + 1) * 8)
+                              : halo_right;
+      co_await ap.store_scalar<double>(kSlab + i * 8,
+                                       (prev + next) / 2.0);
+      prev = cur;
+      cur = next;
+    }
+    // DMA reads source data coherently from DRAM: flush the slab edges.
+    if (use_dma) {
+      co_await ap.flush_range(kSlab, 32);
+      co_await ap.flush_range(kSlab + (kLocal - 1) * 8, 32);
+    }
+    co_await ch.barrier();
+  }
+
+  // Checksum via allreduce.
+  double local = 0;
+  for (std::size_t i = 0; i < kLocal; ++i) {
+    local += co_await ap.load_scalar<double>(kSlab + i * 8);
+  }
+  const auto bits = co_await ch.allreduce_sum(
+      static_cast<std::uint64_t>(local * 1e6));
+  if (self == 0) {
+    result->checksum = static_cast<double>(bits) / 1e6;
+    result->elapsed = machine->kernel().now() - t0;
+  }
+  ++*done;
+}
+
+Result run(int iters, bool use_dma) {
+  sys::Machine::Params params;
+  params.nodes = kNodes;
+  sys::Machine machine(params);
+  Result result;
+  int done = 0;
+  for (sim::NodeId n = 0; n < kNodes; ++n) {
+    machine.node(n).ap().run(
+        worker(&machine, n, iters, use_dma, &result, &done));
+  }
+  if (!sys::run_until(machine.kernel(),
+                      [&] { return done == static_cast<int>(kNodes); },
+                      20000 * sim::kMillisecond)) {
+    std::fprintf(stderr, "stencil: timed out\n");
+    std::exit(1);
+  }
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int iters = argc > 1 ? std::atoi(argv[1]) : 20;
+  std::printf("Jacobi relaxation: %zu nodes x %zu points, %d iterations\n\n",
+              kNodes, kLocal, iters);
+
+  const Result msg_res = run(iters, /*use_dma=*/false);
+  const Result dma_res = run(iters, /*use_dma=*/true);
+
+  std::printf("  halo via Basic messages: %8.1f us  (checksum %.3f)\n",
+              static_cast<double>(msg_res.elapsed) / 1e6,
+              msg_res.checksum);
+  std::printf("  halo via DMA writes:     %8.1f us  (checksum %.3f)\n",
+              static_cast<double>(dma_res.elapsed) / 1e6,
+              dma_res.checksum);
+
+  if (std::fabs(msg_res.checksum - dma_res.checksum) > 1e-3) {
+    std::printf("CHECKSUM MISMATCH\n");
+    return 1;
+  }
+  std::printf("\nchecksums agree; at one-element halos the lighter Basic-"
+              "message path wins,\nwhich is precisely why the platform "
+              "offers both mechanisms.\n");
+  return 0;
+}

@@ -1,0 +1,127 @@
+#include "cpu/processor.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sv::cpu {
+
+Processor::Processor(sim::Kernel& kernel, std::string name, mem::MemBus& bus,
+                     mem::SnoopingCache* cache, Params params)
+    : sim::SimObject(kernel, std::move(name)),
+      params_(params),
+      bus_(bus),
+      cache_(cache),
+      bus_id_(bus.attach(this)),
+      mutex_(kernel, 1) {}
+
+sim::Co<void> Processor::work(sim::Cycles c) {
+  const sim::Tick dur = params_.clock.to_ticks(c);
+  busy_.add_busy(dur);
+  co_await sim::delay(kernel_, dur);
+}
+
+sim::Co<void> Processor::load(mem::Addr a, std::span<std::byte> out) {
+  if (cache_ == nullptr) {
+    co_await load_uncached(a, out);
+    co_return;
+  }
+  const sim::Tick t0 = now();
+  co_await work(params_.op_overhead);
+  co_await cache_->read(a, out);
+  ops_.inc();
+  busy_.add_busy(now() - t0 - params_.clock.to_ticks(params_.op_overhead));
+}
+
+sim::Co<void> Processor::store(mem::Addr a, std::span<const std::byte> in) {
+  if (cache_ == nullptr) {
+    co_await store_uncached(a, in);
+    co_return;
+  }
+  const sim::Tick t0 = now();
+  co_await work(params_.op_overhead);
+  co_await cache_->write(a, in);
+  ops_.inc();
+  busy_.add_busy(now() - t0 - params_.clock.to_ticks(params_.op_overhead));
+}
+
+sim::Co<void> Processor::load_uncached(mem::Addr a,
+                                       std::span<std::byte> out) {
+  std::size_t done = 0;
+  while (done < out.size()) {
+    const mem::Addr addr = a + done;
+    const std::size_t to_boundary = 8 - (addr % 8);
+    const auto n = static_cast<std::uint32_t>(
+        std::min<std::size_t>({out.size() - done, to_boundary, 8}));
+    const sim::Tick t0 = now();
+    co_await work(params_.op_overhead);
+    mem::BusRequest req;
+    req.op = mem::BusOp::kReadSingle;
+    req.addr = addr;
+    req.size = n;
+    req.rdata = out.data() + done;
+    req.from_ap = true;
+    co_await bus_.transact_retry(bus_id_, req);
+    ops_.inc();
+    busy_.add_busy(now() - t0 - params_.clock.to_ticks(params_.op_overhead));
+    done += n;
+  }
+}
+
+sim::Co<void> Processor::store_uncached(mem::Addr a,
+                                        std::span<const std::byte> in) {
+  std::size_t done = 0;
+  while (done < in.size()) {
+    const mem::Addr addr = a + done;
+    const std::size_t to_boundary = 8 - (addr % 8);
+    const auto n = static_cast<std::uint32_t>(
+        std::min<std::size_t>({in.size() - done, to_boundary, 8}));
+    const sim::Tick t0 = now();
+    co_await work(params_.op_overhead);
+    mem::BusRequest req;
+    req.op = mem::BusOp::kWriteSingle;
+    req.addr = addr;
+    req.size = n;
+    req.wdata = in.data() + done;
+    req.from_ap = true;
+    co_await bus_.transact_retry(bus_id_, req);
+    ops_.inc();
+    busy_.add_busy(now() - t0 - params_.clock.to_ticks(params_.op_overhead));
+    done += n;
+  }
+}
+
+sim::Co<void> Processor::flush_line(mem::Addr a) {
+  if (cache_ == nullptr) {
+    co_return;
+  }
+  const sim::Tick t0 = now();
+  co_await cache_->flush_line(a);
+  busy_.add_busy(now() - t0);
+}
+
+sim::Co<void> Processor::flush_range(mem::Addr a, std::size_t len) {
+  if (cache_ == nullptr) {
+    co_return;
+  }
+  const sim::Tick t0 = now();
+  co_await cache_->flush_range(a, len);
+  busy_.add_busy(now() - t0);
+}
+
+sim::Co<void> Processor::invalidate_line(mem::Addr a) {
+  if (cache_ == nullptr) {
+    co_return;
+  }
+  co_await cache_->invalidate_line(a);
+}
+
+void Processor::run(sim::Co<void> program, sim::OneShot* done) {
+  sim::spawn([](sim::Co<void> prog, sim::OneShot* d) -> sim::Co<void> {
+    co_await std::move(prog);
+    if (d != nullptr) {
+      d->fire();
+    }
+  }(std::move(program), done));
+}
+
+}  // namespace sv::cpu

@@ -1,0 +1,150 @@
+#include "fw/dma.hpp"
+
+#include <algorithm>
+
+namespace sv::fw {
+
+DmaEngine::DmaEngine(sim::Kernel& kernel, std::string name,
+                     cpu::Processor& sp, niu::SBiu& sbiu, Params params,
+                     Costs costs)
+    : FwService(kernel, std::move(name), sp, sbiu, params.queues.dma_req,
+                /*scratch=*/params.staging_offset - 64, costs),
+      params_(params),
+      done_seen_(kernel) {}
+
+void DmaEngine::start() {
+  sim::spawn(loop());
+  sim::spawn(done_loop());
+}
+
+sim::Co<void> DmaEngine::loop() {
+  for (;;) {
+    co_await wait_msg();
+    co_await sp_.acquire();
+    co_await sp_.work(costs_.dispatch);
+    RxMsg msg = co_await read_msg();
+    sp_.release();
+    co_await handle(msg.as<DmaRequest>());
+  }
+}
+
+sim::Co<void> DmaEngine::done_loop() {
+  auto& ctrl = sbiu_.ctrl();
+  const unsigned q = params_.queues.fw_done;
+  for (;;) {
+    while (ctrl.rxq(q).empty()) {
+      co_await ctrl.rx_arrival();
+    }
+    co_await sp_.acquire();
+    co_await sp_.work(costs_.dispatch);
+    auto& rq = ctrl.rxq(q);
+    const std::uint32_t slot = rq.slot_addr(rq.consumer);
+    std::byte buf[niu::kBasicHeaderBytes + 8];
+    co_await sbiu_.read_ssram(slot, buf);
+    std::uint32_t tag = 0;
+    std::memcpy(&tag, buf + niu::kBasicHeaderBytes, 4);
+    co_await sbiu_.rx_consumer_update(
+        q, static_cast<std::uint16_t>(rq.consumer + 1));
+    sp_.release();
+    completed_tags_.push_back(tag);
+    done_seen_.pulse();
+  }
+}
+
+sim::Co<void> DmaEngine::wait_done(std::uint32_t tag) {
+  for (;;) {
+    auto it =
+        std::find(completed_tags_.begin(), completed_tags_.end(), tag);
+    if (it != completed_tags_.end()) {
+      completed_tags_.erase(it);
+      co_return;
+    }
+    co_await done_seen_;
+  }
+}
+
+sim::Co<void> DmaEngine::handle(DmaRequest req) {
+  if (req.kind == 1) {
+    // Pull: ask the node holding the data to push it back to us.
+    DmaRequest push = req;
+    push.kind = 0;
+    push.reply_node = static_cast<std::uint16_t>(node());
+    const sim::NodeId holder = req.dest_node;
+    push.dest_node = static_cast<std::uint16_t>(node());
+    push.sender_done_queue = niu::kNoNotify;
+    co_await sp_.acquire();
+    co_await sp_.work(costs_.handler);
+    co_await send(holder, kDmaReqL, to_bytes(push));
+    sp_.release();
+    co_return;
+  }
+
+  // Push: split into page-bounded chunks, ping-pong two staging areas, and
+  // keep at most two block transfers in flight.
+  const std::uint32_t staging_bytes =
+      2 * sbiu_.ctrl().params().block_chunk_bytes;
+  std::uint32_t issued = 0;
+  std::vector<std::uint32_t> tags;
+
+  std::uint64_t src = req.src_addr;
+  std::uint64_t dst = req.dst_addr;
+  std::uint32_t remaining = req.len;
+  while (remaining > 0) {
+    const auto n = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+        {remaining, params_.chunk,
+         niu::kBlockMaxBytes - (src % niu::kBlockMaxBytes),
+         niu::kBlockMaxBytes - (dst % niu::kBlockMaxBytes)}));
+    const bool last = n == remaining;
+
+    if (issued >= 2) {
+      co_await wait_done(tags[issued - 2]);
+    }
+
+    niu::Command cmd;
+    cmd.op = niu::CmdOp::kBlockXfer;
+    cmd.addr = src;
+    cmd.dest_addr = dst;
+    cmd.len = n;
+    cmd.bank = niu::SramBank::kSSram;
+    cmd.sram_offset =
+        params_.staging_offset + (issued % 2) * staging_bytes;
+    cmd.dest_node = req.dest_node;
+    cmd.notify_queue = kFwDoneL;
+    cmd.notify_tag = next_tag_++;
+    if (last && req.completion_queue != niu::kNoNotify) {
+      cmd.remote_notify = true;
+      cmd.remote_notify_queue = req.completion_queue;
+      cmd.remote_notify_tag = req.completion_tag;
+    }
+    tags.push_back(cmd.notify_tag);
+
+    co_await sp_.acquire();
+    co_await sp_.work(costs_.handler);
+    co_await sbiu_.post(params_.cmdq, std::move(cmd));
+    sp_.release();
+
+    src += n;
+    dst += n;
+    remaining -= n;
+    ++issued;
+  }
+
+  // Drain the tail of the pipeline.
+  for (std::uint32_t i = issued >= 2 ? issued - 2 : 0; i < issued; ++i) {
+    co_await wait_done(tags[i]);
+  }
+
+  if (req.sender_done_queue != niu::kNoNotify) {
+    niu::Command note;
+    note.op = niu::CmdOp::kNotifyLocal;
+    note.queue = req.sender_done_queue;
+    note.src_node = static_cast<std::uint16_t>(node());
+    note.data.resize(4);
+    std::memcpy(note.data.data(), &req.sender_done_tag, 4);
+    co_await sp_.acquire();
+    co_await sbiu_.immediate(std::move(note));
+    sp_.release();
+  }
+}
+
+}  // namespace sv::fw

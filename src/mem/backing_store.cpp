@@ -1,0 +1,64 @@
+#include "mem/backing_store.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace sv::mem {
+
+const BackingStore::Page* BackingStore::find_page(Addr page_index) const {
+  auto it = pages_.find(page_index);
+  return it != pages_.end() ? &it->second : nullptr;
+}
+
+BackingStore::Page& BackingStore::get_page(Addr page_index) {
+  auto [it, inserted] = pages_.try_emplace(page_index);
+  if (inserted) {
+    it->second.resize(kPageBytes);
+  }
+  return it->second;
+}
+
+void BackingStore::read(Addr addr, std::span<std::byte> out) const {
+  std::size_t done = 0;
+  while (done < out.size()) {
+    const Addr a = addr + done;
+    const Addr page_index = a / kPageBytes;
+    const std::size_t offset = a % kPageBytes;
+    const std::size_t chunk =
+        std::min(out.size() - done, kPageBytes - offset);
+    if (const Page* page = find_page(page_index)) {
+      std::memcpy(out.data() + done, page->data() + offset, chunk);
+    } else {
+      std::memset(out.data() + done, 0, chunk);
+    }
+    done += chunk;
+  }
+}
+
+void BackingStore::write(Addr addr, std::span<const std::byte> in) {
+  std::size_t done = 0;
+  while (done < in.size()) {
+    const Addr a = addr + done;
+    const Addr page_index = a / kPageBytes;
+    const std::size_t offset = a % kPageBytes;
+    const std::size_t chunk = std::min(in.size() - done, kPageBytes - offset);
+    Page& page = get_page(page_index);
+    std::memcpy(page.data() + offset, in.data() + done, chunk);
+    done += chunk;
+  }
+}
+
+void BackingStore::fill(Addr addr, std::size_t len, std::byte value) {
+  std::size_t done = 0;
+  while (done < len) {
+    const Addr a = addr + done;
+    const Addr page_index = a / kPageBytes;
+    const std::size_t offset = a % kPageBytes;
+    const std::size_t chunk = std::min(len - done, kPageBytes - offset);
+    Page& page = get_page(page_index);
+    std::memset(page.data() + offset, static_cast<int>(value), chunk);
+    done += chunk;
+  }
+}
+
+}  // namespace sv::mem

@@ -1,0 +1,54 @@
+// Sparse functional byte storage backing DRAM and SRAM models.
+//
+// Timing lives in the bus/controller models; BackingStore is purely
+// functional so every simulated data movement is real and checkable.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+namespace sv::mem {
+
+using Addr = std::uint64_t;
+
+class BackingStore {
+ public:
+  static constexpr std::size_t kPageBytes = 4096;
+
+  /// Read `out.size()` bytes at `addr`. Unwritten bytes read as zero.
+  void read(Addr addr, std::span<std::byte> out) const;
+
+  /// Write `in.size()` bytes at `addr`.
+  void write(Addr addr, std::span<const std::byte> in);
+
+  /// Convenience scalar accessors (little-endian in host memory).
+  template <typename T>
+  [[nodiscard]] T read_scalar(Addr addr) const {
+    T v{};
+    read(addr, std::as_writable_bytes(std::span(&v, 1)));
+    return v;
+  }
+
+  template <typename T>
+  void write_scalar(Addr addr, const T& v) {
+    write(addr, std::as_bytes(std::span(&v, 1)));
+  }
+
+  /// Fill a range with a byte value.
+  void fill(Addr addr, std::size_t len, std::byte value);
+
+  [[nodiscard]] std::size_t allocated_pages() const { return pages_.size(); }
+
+ private:
+  using Page = std::vector<std::byte>;
+
+  [[nodiscard]] const Page* find_page(Addr page_index) const;
+  Page& get_page(Addr page_index);
+
+  std::unordered_map<Addr, Page> pages_;
+};
+
+}  // namespace sv::mem

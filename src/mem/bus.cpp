@@ -1,0 +1,212 @@
+#include "mem/bus.hpp"
+
+#include <cassert>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace sv::mem {
+
+std::string_view to_string(BusOp op) {
+  switch (op) {
+    case BusOp::kRead:
+      return "Read";
+    case BusOp::kRWITM:
+      return "RWITM";
+    case BusOp::kWriteLine:
+      return "WriteLine";
+    case BusOp::kReadSingle:
+      return "ReadSingle";
+    case BusOp::kWriteSingle:
+      return "WriteSingle";
+    case BusOp::kKill:
+      return "Kill";
+    case BusOp::kFlush:
+      return "Flush";
+  }
+  return "?";
+}
+
+void BusDevice::bus_read_data(const BusRequest& req,
+                              std::span<std::byte> out) {
+  (void)req;
+  (void)out;
+  throw std::logic_error(std::string(device_name()) +
+                         ": bus_read_data not implemented");
+}
+
+void BusDevice::bus_write_data(const BusRequest& req,
+                               std::span<const std::byte> in) {
+  (void)req;
+  (void)in;
+  throw std::logic_error(std::string(device_name()) +
+                         ": bus_write_data not implemented");
+}
+
+MemBus::MemBus(sim::Kernel& kernel, std::string name, Params params)
+    : sim::SimObject(kernel, std::move(name)),
+      params_(params),
+      addr_bus_(kernel, 1),
+      data_bus_(kernel, 1) {}
+
+int MemBus::attach(BusDevice* dev) {
+  devices_.push_back(dev);
+  return static_cast<int>(devices_.size()) - 1;
+}
+
+sim::Co<void> MemBus::wait_cycles(sim::Cycles c) {
+  co_await sim::delay(kernel_, params_.clock.to_ticks(c));
+}
+
+sim::Co<void> MemBus::align_to_edge() {
+  co_await sim::delay(kernel_, params_.clock.until_next_edge(now()));
+}
+
+sim::Co<BusResult> MemBus::transact(int requester_id, BusRequest req) {
+  req.requester = requester_id;
+  const sim::Tick start = now();
+
+  // --- Address tenure -----------------------------------------------------
+  co_await addr_bus_.acquire();
+  co_await align_to_edge();
+  co_await wait_cycles(params_.address_cycles);
+
+  BusResult res;
+  SnoopResult winner;          // the responder's snoop result
+  int accept_device = -1;      // device that claimed the address (memory)
+  sim::Cycles accept_latency = 0;
+  int modified_device = -1;    // device performing intervention
+  sim::Cycles modified_latency = 0;
+  bool retry = false;
+
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    if (static_cast<int>(i) == requester_id) {
+      continue;
+    }
+    const SnoopResult sr = devices_[i]->bus_snoop(req);
+    switch (sr.action) {
+      case SnoopAction::kIgnore:
+        break;
+      case SnoopAction::kAccept:
+        assert(accept_device < 0 && "multiple devices claimed one address");
+        accept_device = static_cast<int>(i);
+        accept_latency = sr.latency;
+        break;
+      case SnoopAction::kShared:
+        res.shared = true;
+        break;
+      case SnoopAction::kModified:
+        assert(modified_device < 0 && "multiple modified owners");
+        modified_device = static_cast<int>(i);
+        modified_latency = sr.latency;
+        break;
+      case SnoopAction::kRetry:
+        retry = true;
+        break;
+    }
+  }
+  addr_bus_.release();
+
+  stats_.transactions.inc();
+  if (retry) {
+    stats_.retries.inc();
+    res.retried = true;
+    co_return res;
+  }
+
+  // Intervention: a dirty snooper overrides the addressed responder.
+  int responder = accept_device;
+  sim::Cycles latency = accept_latency;
+  if (modified_device >= 0) {
+    responder = modified_device;
+    latency = modified_latency;
+    res.intervened = true;
+    res.shared = true;
+    stats_.interventions.inc();
+  }
+  res.responder = responder;
+
+  if (op_address_only(req.op) || (req.op == BusOp::kFlush && !res.intervened)) {
+    // Kill, or a flush that found no dirty copy: no data tenure.
+    stats_.address_only.inc();
+    for (std::size_t i = 0; i < devices_.size(); ++i) {
+      if (static_cast<int>(i) != requester_id) {
+        devices_[i]->bus_observe(req, res);
+      }
+    }
+    stats_.latency_ps.sample(now() - start);
+    co_return res;
+  }
+
+  if (responder < 0) {
+    res.no_responder = true;
+    for (std::size_t i = 0; i < devices_.size(); ++i) {
+      if (static_cast<int>(i) != requester_id) {
+        devices_[i]->bus_observe(req, res);
+      }
+    }
+    stats_.latency_ps.sample(now() - start);
+    co_return res;
+  }
+
+  // --- Data tenure ----------------------------------------------------------
+  co_await data_bus_.acquire();
+  const sim::Tick data_start = now();
+  const sim::Cycles beats =
+      (req.size + kBeatBytes - 1) / kBeatBytes > 0
+          ? (req.size + kBeatBytes - 1) / kBeatBytes
+          : 1;
+  co_await wait_cycles(latency + beats);
+  stats_.data_beats.inc(beats);
+  stats_.data_busy.add_busy(now() - data_start);
+
+  if (req.op == BusOp::kFlush) {
+    // The dirty owner pushes the line back to memory.
+    assert(res.intervened);
+    std::byte line[kLineBytes];
+    std::span<std::byte> buf(line, req.size);
+    devices_[responder]->bus_read_data(req, buf);
+    if (accept_device >= 0) {
+      devices_[accept_device]->bus_write_data(req, buf);
+    }
+  } else if (op_reads_data(req.op)) {
+    assert(req.rdata != nullptr);
+    std::span<std::byte> buf(req.rdata, req.size);
+    devices_[responder]->bus_read_data(req, buf);
+    if (res.intervened && req.op == BusOp::kRead && accept_device >= 0) {
+      // Intervention data is reflected into memory so the previously dirty
+      // line becomes clean-shared system-wide.
+      devices_[accept_device]->bus_write_data(req, buf);
+    }
+  } else if (op_writes_data(req.op)) {
+    assert(req.wdata != nullptr);
+    std::span<const std::byte> buf(req.wdata, req.size);
+    devices_[responder]->bus_write_data(req, buf);
+  }
+  data_bus_.release();
+
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    if (static_cast<int>(i) != requester_id) {
+      devices_[i]->bus_observe(req, res);
+    }
+  }
+  stats_.latency_ps.sample(now() - start);
+  co_return res;
+}
+
+sim::Co<BusResult> MemBus::transact_retry(int requester_id, BusRequest req,
+                                          unsigned max_retries) {
+  unsigned tries = 0;
+  for (;;) {
+    BusResult res = co_await transact(requester_id, req);
+    if (!res.retried) {
+      co_return res;
+    }
+    ++tries;
+    if (max_retries != 0 && tries >= max_retries) {
+      co_return res;
+    }
+    co_await wait_cycles(params_.retry_backoff);
+  }
+}
+
+}  // namespace sv::mem

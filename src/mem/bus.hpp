@@ -1,0 +1,180 @@
+// Split-transaction snooping memory bus (modelled after the PowerPC 60x bus
+// the paper's nodes use).
+//
+// A transaction has an address tenure (arbitration + address/command cycle +
+// snoop window) followed, unless retried, by a data tenure (64-bit data bus,
+// one 8-byte beat per bus cycle, plus the responder's access latency). The
+// address and data buses are separate resources, so the address tenure of a
+// following transaction overlaps the data tenure of the current one, exactly
+// like pipelined 60x operation.
+//
+// Every attached device snoops every address tenure. Snoop results implement
+// the 60x shared / modified-intervention / ARTRY(retry) semantics that the
+// NIU's S-COMA and NUMA support relies on: the aBIU can hold off the aP by
+// retrying its reads until firmware has fetched remote data.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "mem/backing_store.hpp"
+#include "sim/coro.hpp"
+#include "sim/kernel.hpp"
+#include "sim/stats.hpp"
+#include "sim/types.hpp"
+
+namespace sv::mem {
+
+/// Cache-line size of the modelled 604e system.
+inline constexpr std::size_t kLineBytes = 32;
+/// Width of the data bus in bytes (64-bit 60x data bus).
+inline constexpr std::size_t kBeatBytes = 8;
+
+[[nodiscard]] constexpr Addr line_base(Addr a) {
+  return a & ~static_cast<Addr>(kLineBytes - 1);
+}
+
+enum class BusOp : std::uint8_t {
+  kRead,         // cacheable line read (burst)
+  kRWITM,        // read with intent to modify (burst, invalidates others)
+  kWriteLine,    // write with flush (full-line burst writeback)
+  kReadSingle,   // uncached read, <= 8 bytes
+  kWriteSingle,  // uncached write, <= 8 bytes
+  kKill,         // address-only invalidate (DKill)
+  kFlush,        // force writeback + invalidate of a line
+};
+
+[[nodiscard]] std::string_view to_string(BusOp op);
+
+[[nodiscard]] constexpr bool op_reads_data(BusOp op) {
+  return op == BusOp::kRead || op == BusOp::kRWITM ||
+         op == BusOp::kReadSingle;
+}
+
+[[nodiscard]] constexpr bool op_writes_data(BusOp op) {
+  return op == BusOp::kWriteLine || op == BusOp::kWriteSingle;
+}
+
+[[nodiscard]] constexpr bool op_address_only(BusOp op) {
+  return op == BusOp::kKill;
+}
+
+enum class SnoopAction : std::uint8_t {
+  kIgnore,    // address not mine, no copy held
+  kAccept,    // I am the addressed responder (memory controller, NIU window)
+  kShared,    // I hold a clean copy (drives SHD)
+  kModified,  // I hold a dirty copy: intervention, I supply/absorb the data
+  kRetry,     // ARTRY: abort the transaction, requester must retry
+};
+
+struct SnoopResult {
+  SnoopAction action = SnoopAction::kIgnore;
+  /// Responder-side access latency in bus cycles before the first data beat.
+  sim::Cycles latency = 0;
+};
+
+struct BusRequest {
+  BusOp op = BusOp::kRead;
+  Addr addr = 0;
+  std::uint32_t size = 0;
+  /// Source buffer for write ops; must stay valid until completion.
+  const std::byte* wdata = nullptr;
+  /// Destination buffer for read ops; must stay valid until completion.
+  std::byte* rdata = nullptr;
+  /// Device id of the requester (set by MemBus::transact).
+  int requester = -1;
+  /// True when the transaction was initiated by the application processor
+  /// (the aBIU's S-COMA/NUMA checks apply only to aP-initiated traffic).
+  bool from_ap = false;
+};
+
+struct BusResult {
+  bool retried = false;
+  bool shared = false;        // some snooper holds a copy
+  bool intervened = false;    // data supplied by a modified snooper
+  bool no_responder = false;  // nobody claimed the address
+  int responder = -1;
+};
+
+class BusDevice {
+ public:
+  virtual ~BusDevice() = default;
+
+  [[nodiscard]] virtual std::string_view device_name() const = 0;
+
+  /// Address-tenure snoop. Called for every transaction except the device's
+  /// own. Must not suspend: snooping is combinational.
+  virtual SnoopResult bus_snoop(const BusRequest& req) = 0;
+
+  /// Data-tenure callbacks, invoked on the responder at the end of the data
+  /// tenure. Default implementations abort (a device that never responds
+  /// with kAccept/kModified need not override them).
+  virtual void bus_read_data(const BusRequest& req, std::span<std::byte> out);
+  virtual void bus_write_data(const BusRequest& req,
+                              std::span<const std::byte> in);
+
+  /// Called on every device except the requester after a transaction
+  /// completes without retry (after the data tenure, if any). Used for
+  /// invalidations and the BIUs' bus watching.
+  virtual void bus_observe(const BusRequest& req, const BusResult& res) {
+    (void)req;
+    (void)res;
+  }
+};
+
+struct BusStats {
+  sim::Counter transactions;
+  sim::Counter retries;
+  sim::Counter interventions;
+  sim::Counter address_only;
+  sim::Counter data_beats;
+  sim::BusyTracker data_busy;
+  sim::Histogram latency_ps;  // request issue to completion
+};
+
+class MemBus : public sim::SimObject {
+ public:
+  struct Params {
+    sim::Clock clock{15000};        // 66.67 MHz 60x bus
+    sim::Cycles address_cycles = 2; // address tenure + snoop window
+    sim::Cycles retry_backoff = 4;  // cycles before a retried op re-arbitrates
+  };
+
+  MemBus(sim::Kernel& kernel, std::string name, Params params);
+
+  /// Attach a device; returns its device id (used as requester id).
+  int attach(BusDevice* dev);
+
+  [[nodiscard]] const sim::Clock& clock() const { return params_.clock; }
+  [[nodiscard]] const Params& params() const { return params_; }
+
+  /// Run one bus transaction. The request's requester field is filled in
+  /// from `requester_id`. Returns once the transaction completes or is
+  /// retried (result.retried).
+  sim::Co<BusResult> transact(int requester_id, BusRequest req);
+
+  /// Issue and re-issue on ARTRY with backoff until the transaction
+  /// completes. `max_retries` == 0 means unbounded (hardware semantics).
+  /// With a bound, gives up and returns retried=true after that many tries.
+  sim::Co<BusResult> transact_retry(int requester_id, BusRequest req,
+                                    unsigned max_retries = 0);
+
+  [[nodiscard]] const BusStats& stats() const { return stats_; }
+  BusStats& stats() { return stats_; }
+
+  [[nodiscard]] std::size_t device_count() const { return devices_.size(); }
+
+ private:
+  sim::Co<void> wait_cycles(sim::Cycles c);
+  sim::Co<void> align_to_edge();
+
+  Params params_;
+  std::vector<BusDevice*> devices_;
+  sim::Semaphore addr_bus_;
+  sim::Semaphore data_bus_;
+  BusStats stats_;
+};
+
+}  // namespace sv::mem

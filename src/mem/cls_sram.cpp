@@ -1,0 +1,52 @@
+#include "mem/cls_sram.hpp"
+
+#include <stdexcept>
+
+namespace sv::mem {
+
+ClsSram::ClsSram(sim::Kernel& kernel, std::string name, Params params)
+    : sim::SimObject(kernel, std::move(name)),
+      params_(params),
+      state_(params.region_size / kLineBytes, 0),
+      port_(kernel, 1) {}
+
+std::size_t ClsSram::index_of(Addr a) const {
+  if (!covers(a)) {
+    throw std::out_of_range(name() + ": address outside clsSRAM region");
+  }
+  return static_cast<std::size_t>((a - params_.region_base) / kLineBytes);
+}
+
+std::uint8_t ClsSram::peek(Addr a) const {
+  return state_[index_of(a)];
+}
+
+void ClsSram::poke(Addr a, std::uint8_t bits) {
+  state_[index_of(a)] = bits & 0x0F;
+}
+
+sim::Co<void> ClsSram::write_state(Addr a, std::uint8_t bits) {
+  co_await port_.acquire();
+  co_await sim::delay(kernel_, params_.clock.to_ticks(params_.write_cycles));
+  poke(a, bits);
+  writes_.inc();
+  port_.release();
+}
+
+sim::Co<void> ClsSram::write_state_range(Addr base, Addr size,
+                                         std::uint8_t bits) {
+  co_await port_.acquire();
+  const Addr first = line_base(base);
+  const Addr last = line_base(base + size - 1);
+  const sim::Cycles lines =
+      static_cast<sim::Cycles>((last - first) / kLineBytes + 1);
+  co_await sim::delay(kernel_,
+                      params_.clock.to_ticks(lines * params_.write_cycles));
+  for (Addr a = first; a <= last; a += kLineBytes) {
+    poke(a, bits);
+  }
+  writes_.inc(lines);
+  port_.release();
+}
+
+}  // namespace sv::mem

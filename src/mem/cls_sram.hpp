@@ -1,0 +1,62 @@
+// clsSRAM: the single-ported SRAM holding 4 state bits per main-memory cache
+// line. The aBIU reads it combinationally for every aP bus operation (the
+// read is part of the snoop path and costs no extra time); updates go
+// through its single port.
+//
+// The 4-bit value is protocol-defined: the S-COMA firmware uses it as
+// cache-line state, and the aBIU's reaction table maps (bus op, cls bits) to
+// {retry, pass-to-sP} decisions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/backing_store.hpp"
+#include "mem/bus.hpp"
+#include "sim/coro.hpp"
+#include "sim/kernel.hpp"
+#include "sim/stats.hpp"
+
+namespace sv::mem {
+
+class ClsSram : public sim::SimObject {
+ public:
+  struct Params {
+    Addr region_base = 0;   // first address covered
+    Addr region_size = 0;   // bytes covered (state kept per kLineBytes line)
+    sim::Clock clock{15000};
+    sim::Cycles write_cycles = 1;
+  };
+
+  ClsSram(sim::Kernel& kernel, std::string name, Params params);
+
+  [[nodiscard]] bool covers(Addr a) const {
+    return a >= params_.region_base &&
+           a < params_.region_base + params_.region_size;
+  }
+
+  /// Combinational read used on the snoop path (no simulated time).
+  [[nodiscard]] std::uint8_t peek(Addr a) const;
+
+  /// Functional write (used by tests and for initialization).
+  void poke(Addr a, std::uint8_t bits);
+
+  /// Timed write through the single port (used by aBIU/CTRL commands).
+  sim::Co<void> write_state(Addr a, std::uint8_t bits);
+
+  /// Timed write of a contiguous range of lines.
+  sim::Co<void> write_state_range(Addr base, Addr size, std::uint8_t bits);
+
+  [[nodiscard]] const Params& params() const { return params_; }
+  [[nodiscard]] const sim::Counter& writes() const { return writes_; }
+
+ private:
+  [[nodiscard]] std::size_t index_of(Addr a) const;
+
+  Params params_;
+  std::vector<std::uint8_t> state_;
+  sim::Semaphore port_;
+  sim::Counter writes_;
+};
+
+}  // namespace sv::mem

@@ -1,0 +1,111 @@
+#include "msg/channel.hpp"
+
+namespace sv::msg {
+
+Channel::Channel(Endpoint& ep, AddressMap map, sim::NodeId self)
+    : ep_(ep), map_(map), self_(self) {}
+
+sim::Co<void> Channel::send(sim::NodeId dest, std::uint32_t tag,
+                            std::span<const std::byte> data) {
+  const std::size_t total_frags =
+      data.empty() ? 1 : (data.size() + kFragData - 1) / kFragData;
+  for (std::size_t f = 0; f < total_frags; ++f) {
+    const std::size_t off = f * kFragData;
+    const std::size_t n = std::min(kFragData, data.size() - off);
+    FragHeader hdr;
+    hdr.tag = tag;
+    hdr.frag = static_cast<std::uint16_t>(f);
+    hdr.total = static_cast<std::uint16_t>(total_frags);
+    std::vector<std::byte> frame(sizeof(FragHeader) + n);
+    std::memcpy(frame.data(), &hdr, sizeof(FragHeader));
+    if (n > 0) {
+      std::memcpy(frame.data() + sizeof(FragHeader), data.data() + off, n);
+    }
+    co_await ep_.send(map_.user0(dest), frame);
+  }
+}
+
+sim::Co<void> Channel::pump() {
+  Message m = co_await ep_.recv();
+  FragHeader hdr{};
+  std::memcpy(&hdr, m.data.data(), sizeof(FragHeader));
+  const std::size_t payload = m.data.size() - sizeof(FragHeader);
+
+  Assembly* asmb = nullptr;
+  for (auto& a : assemblies_) {
+    if (a.src == m.src_node && a.tag == hdr.tag && a.received < a.total) {
+      asmb = &a;
+      break;
+    }
+  }
+  if (asmb == nullptr) {
+    assemblies_.push_back(Assembly{m.src_node, hdr.tag, 0, hdr.total, {}});
+    asmb = &assemblies_.back();
+    asmb->data.resize(static_cast<std::size_t>(hdr.total) * kFragData);
+  }
+  std::memcpy(asmb->data.data() + static_cast<std::size_t>(hdr.frag) *
+                                      kFragData,
+              m.data.data() + sizeof(FragHeader), payload);
+  ++asmb->received;
+  if (hdr.frag + 1 == hdr.total) {
+    // Last fragment fixes the true size.
+    asmb->data.resize(static_cast<std::size_t>(hdr.frag) * kFragData +
+                      payload);
+  }
+}
+
+std::list<Channel::Assembly>::iterator Channel::find_complete(
+    sim::NodeId src, std::uint32_t tag) {
+  for (auto it = assemblies_.begin(); it != assemblies_.end(); ++it) {
+    if (it->src == src && it->tag == tag && it->received == it->total) {
+      return it;
+    }
+  }
+  return assemblies_.end();
+}
+
+sim::Co<std::vector<std::byte>> Channel::recv(sim::NodeId src,
+                                              std::uint32_t tag) {
+  for (;;) {
+    auto it = find_complete(src, tag);
+    if (it != assemblies_.end()) {
+      std::vector<std::byte> out = std::move(it->data);
+      assemblies_.erase(it);
+      co_return out;
+    }
+    co_await pump();
+  }
+}
+
+sim::Co<void> Channel::barrier() {
+  const std::uint8_t token = 1;
+  const auto data = std::as_bytes(std::span(&token, 1));
+  if (self_ == 0) {
+    for (sim::NodeId n = 1; n < map_.nodes; ++n) {
+      (void)co_await recv(n, kBarrierTag);
+    }
+    for (sim::NodeId n = 1; n < map_.nodes; ++n) {
+      co_await send(n, kBarrierTag, data);
+    }
+  } else {
+    co_await send(0, kBarrierTag, data);
+    (void)co_await recv(0, kBarrierTag);
+  }
+}
+
+sim::Co<std::uint64_t> Channel::allreduce_sum(std::uint64_t value) {
+  if (self_ == 0) {
+    std::uint64_t sum = value;
+    for (sim::NodeId n = 1; n < map_.nodes; ++n) {
+      sum += co_await recv_value<std::uint64_t>(n, kReduceTag);
+    }
+    for (sim::NodeId n = 1; n < map_.nodes; ++n) {
+      co_await send_value(n, kReduceTag, sum);
+    }
+    co_return sum;
+  }
+  co_await send_value(0, kReduceTag, value);
+  co_return co_await recv_value<std::uint64_t>(0, kReduceTag);
+}
+
+}  // namespace sv::msg

@@ -1,0 +1,85 @@
+// Channel: a small MPI-flavoured veneer over Basic messages — the "MPI
+// library that presents the usual interface but uses the underlying NIU
+// support" the paper promises at layer 0.
+//
+// Provides tagged, arbitrarily-sized sends with fragmentation/reassembly,
+// plus barrier and allreduce collectives built from the same primitives.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <list>
+
+#include "msg/endpoint.hpp"
+
+namespace sv::msg {
+
+class Channel {
+ public:
+  Channel(Endpoint& ep, AddressMap map, sim::NodeId self);
+
+  /// Tagged send; fragments across Basic messages as needed.
+  sim::Co<void> send(sim::NodeId dest, std::uint32_t tag,
+                     std::span<const std::byte> data);
+
+  template <typename T>
+  sim::Co<void> send_value(sim::NodeId dest, std::uint32_t tag, const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    co_await send(dest, tag, std::as_bytes(std::span(&v, 1)));
+  }
+
+  /// Blocking tagged receive from a specific source. Non-matching messages
+  /// are buffered for later receives.
+  sim::Co<std::vector<std::byte>> recv(sim::NodeId src, std::uint32_t tag);
+
+  template <typename T>
+  sim::Co<T> recv_value(sim::NodeId src, std::uint32_t tag) {
+    auto bytes = co_await recv(src, tag);
+    T v{};
+    std::memcpy(&v, bytes.data(), std::min(sizeof(T), bytes.size()));
+    co_return v;
+  }
+
+  /// Barrier across ranks [0, nodes): gather-at-0 then broadcast.
+  sim::Co<void> barrier();
+
+  /// Allreduce (sum) of a u64 across all ranks.
+  sim::Co<std::uint64_t> allreduce_sum(std::uint64_t value);
+
+  [[nodiscard]] sim::NodeId rank() const { return self_; }
+  [[nodiscard]] std::size_t size() const { return map_.nodes; }
+
+ private:
+  struct FragHeader {
+    std::uint32_t tag = 0;
+    std::uint16_t frag = 0;
+    std::uint16_t total = 0;
+  };
+  static constexpr std::size_t kFragData =
+      niu::kBasicMaxData - sizeof(FragHeader);
+
+  struct Assembly {
+    std::uint16_t src;
+    std::uint32_t tag;
+    std::uint16_t received = 0;
+    std::uint16_t total = 0;
+    std::vector<std::byte> data;
+  };
+
+  /// Pull one fragment from the endpoint and merge it into assemblies_;
+  /// returns an iterator to a completed assembly matching (src, tag), or
+  /// end() if none completed yet.
+  sim::Co<void> pump();
+  std::list<Assembly>::iterator find_complete(sim::NodeId src,
+                                              std::uint32_t tag);
+
+  Endpoint& ep_;
+  AddressMap map_;
+  sim::NodeId self_;
+  std::list<Assembly> assemblies_;
+
+  static constexpr std::uint32_t kBarrierTag = 0xFFFF0001;
+  static constexpr std::uint32_t kReduceTag = 0xFFFF0002;
+};
+
+}  // namespace sv::msg

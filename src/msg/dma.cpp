@@ -1,0 +1,40 @@
+#include "msg/dma.hpp"
+
+namespace sv::msg {
+
+sim::Co<void> dma_write(Endpoint& ep, const AddressMap& map,
+                        sim::NodeId self, sim::NodeId dest, mem::Addr src,
+                        mem::Addr dst, std::uint32_t len,
+                        net::QueueId completion_queue, std::uint32_t tag,
+                        net::QueueId sender_done_queue) {
+  fw::DmaRequest req;
+  req.kind = 0;
+  req.src_addr = src;
+  req.dst_addr = dst;
+  req.len = len;
+  req.dest_node = static_cast<std::uint16_t>(dest);
+  req.completion_queue = completion_queue;
+  req.completion_tag = tag;
+  if (sender_done_queue != niu::kNoNotify) {
+    req.sender_done_queue = sender_done_queue;
+    req.sender_done_tag = tag;
+  }
+  co_await ep.send(map.dma(self), fw::to_bytes(req));
+}
+
+sim::Co<void> dma_read(Endpoint& ep, const AddressMap& map, sim::NodeId self,
+                       sim::NodeId src_node, mem::Addr src, mem::Addr dst,
+                       std::uint32_t len, net::QueueId completion_queue,
+                       std::uint32_t tag) {
+  fw::DmaRequest req;
+  req.kind = 1;
+  req.src_addr = src;
+  req.dst_addr = dst;
+  req.len = len;
+  req.dest_node = static_cast<std::uint16_t>(src_node);  // data holder
+  req.completion_queue = completion_queue;
+  req.completion_tag = tag;
+  co_await ep.send(map.dma(self), fw::to_bytes(req));
+}
+
+}  // namespace sv::msg

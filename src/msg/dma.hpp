@@ -1,0 +1,33 @@
+// Layer-0 DMA client API (paper section 5).
+//
+// The aP requests a DMA by messaging its local sP's DMA engine; firmware
+// drives the block engines (see fw::DmaEngine). Completion lands in the
+// receiver's regular message queue — the am_store-style notification the
+// paper's experiments use.
+#pragma once
+
+#include "fw/dma.hpp"
+#include "msg/endpoint.hpp"
+
+namespace sv::msg {
+
+/// Copy `len` bytes from this node's DRAM at `src` to `dest` node's DRAM at
+/// `dst`. All of src, dst and len must be 32-byte aligned. When
+/// `completion_queue` is a valid logical queue, the *receiver* gets a
+/// notification message carrying `tag` after the data has landed; when
+/// `sender_done_queue` is a valid logical queue the sender side gets one
+/// too (on that queue).
+sim::Co<void> dma_write(Endpoint& ep, const AddressMap& map,
+                        sim::NodeId self, sim::NodeId dest, mem::Addr src,
+                        mem::Addr dst, std::uint32_t len,
+                        net::QueueId completion_queue, std::uint32_t tag,
+                        net::QueueId sender_done_queue = niu::kNoNotify);
+
+/// Fetch `len` bytes from `src_node`'s DRAM at `src` into this node's DRAM
+/// at `dst`. The local user queue receives the completion carrying `tag`.
+sim::Co<void> dma_read(Endpoint& ep, const AddressMap& map, sim::NodeId self,
+                       sim::NodeId src_node, mem::Addr src, mem::Addr dst,
+                       std::uint32_t len, net::QueueId completion_queue,
+                       std::uint32_t tag);
+
+}  // namespace sv::msg

@@ -1,0 +1,31 @@
+// aP-side reader for DRAM-resident receive queues (the spill target of the
+// NIU's receive-queue cache; see fw::MissService for the layout).
+#pragma once
+
+#include <optional>
+
+#include "cpu/processor.hpp"
+#include "fw/miss_service.hpp"
+#include "msg/endpoint.hpp"
+
+namespace sv::msg {
+
+class DramQueue {
+ public:
+  DramQueue(cpu::Processor& ap, fw::DramQueueDesc desc)
+      : ap_(ap), desc_(desc) {}
+
+  /// Poll the firmware-maintained producer word and consume one message if
+  /// available.
+  sim::Co<std::optional<Message>> try_recv();
+  sim::Co<Message> recv();
+
+  [[nodiscard]] const fw::DramQueueDesc& desc() const { return desc_; }
+
+ private:
+  cpu::Processor& ap_;
+  fw::DramQueueDesc desc_;
+  std::uint32_t consumer_ = 0;
+};
+
+}  // namespace sv::msg

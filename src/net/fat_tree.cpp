@@ -1,0 +1,192 @@
+#include "net/fat_tree.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <string>
+
+namespace sv::net {
+
+namespace {
+
+unsigned levels_for(std::size_t nodes, unsigned radix) {
+  unsigned n = 1;
+  std::uint64_t cap = radix;
+  while (cap < nodes) {
+    cap *= radix;
+    ++n;
+  }
+  return n;
+}
+
+std::uint64_t ipow(std::uint64_t base, unsigned exp) {
+  std::uint64_t r = 1;
+  while (exp-- > 0) {
+    r *= base;
+  }
+  return r;
+}
+
+}  // namespace
+
+FatTreeNetwork::FatTreeNetwork(sim::Kernel& kernel, std::string name,
+                               Params params)
+    : Network(kernel, std::move(name)), params_(params) {
+  if (params_.nodes == 0) {
+    throw std::invalid_argument("FatTreeNetwork: zero nodes");
+  }
+  if (params_.radix < 2) {
+    throw std::invalid_argument("FatTreeNetwork: radix must be >= 2");
+  }
+  const unsigned k = params_.radix;
+  levels_ = levels_for(params_.nodes, k);
+  routers_per_level_ = ipow(k, levels_ - 1);
+
+  endpoints_.resize(params_.nodes);
+  inject_links_.resize(params_.nodes, nullptr);
+  eject_links_.resize(params_.nodes, nullptr);
+
+  // Create routers. Port convention: 0..k-1 down, k..2k-1 up.
+  routers_.reserve(levels_ * routers_per_level_);
+  for (unsigned l = 0; l < levels_; ++l) {
+    for (std::uint64_t w = 0; w < routers_per_level_; ++w) {
+      Router::Params rp;
+      rp.num_inputs = 2 * k;
+      rp.num_outputs = 2 * k;
+      rp.clock = params_.router_clock;
+      rp.fall_through_cycles = params_.fall_through_cycles;
+      auto route = [this, l, w](const Packet& p) {
+        return route_at(l, w, p);
+      };
+      routers_.push_back(std::make_unique<Router>(
+          kernel_, this->name() + ".r" + std::to_string(l) + "_" +
+                       std::to_string(w),
+          rp, route));
+    }
+  }
+
+  // Node <-> leaf router links.
+  for (sim::NodeId node = 0; node < params_.nodes; ++node) {
+    const std::uint64_t w = node / k;
+    const unsigned port = node % k;
+    Router* leaf = routers_[router_index(0, w)].get();
+
+    Link* up = new_link("inj" + std::to_string(node));
+    up->set_sink([leaf, port](Packet&& p) { leaf->receive(port, std::move(p)); });
+    leaf->connect_input_upstream(port, up);
+    inject_links_[node] = up;
+
+    Link* down = new_link("ej" + std::to_string(node));
+    down->set_sink([this, node](Packet&& p) {
+      count_delivery(p);
+      assert(endpoints_[node] && "endpoint not attached");
+      endpoints_[node](std::move(p));
+    });
+    leaf->connect_output(port, down);
+    eject_links_[node] = down;
+  }
+
+  // Inter-level links: <l, w> up port c  <->  <l+1, w[l->c]> down port
+  // digit_l(w), one link per direction.
+  for (unsigned l = 0; l + 1 < levels_; ++l) {
+    for (std::uint64_t w = 0; w < routers_per_level_; ++w) {
+      Router* lo = routers_[router_index(l, w)].get();
+      for (unsigned c = 0; c < k; ++c) {
+        const std::uint64_t w_hi = set_digit(w, l, c);
+        const unsigned hi_port = digit(w, l);
+        Router* hi = routers_[router_index(l + 1, w_hi)].get();
+
+        Link* up = new_link("u" + std::to_string(l) + "_" +
+                            std::to_string(w) + "_" + std::to_string(c));
+        up->set_sink(
+            [hi, hi_port](Packet&& p) { hi->receive(hi_port, std::move(p)); });
+        hi->connect_input_upstream(hi_port, up);
+        lo->connect_output(k + c, up);
+
+        Link* dn = new_link("d" + std::to_string(l) + "_" +
+                            std::to_string(w) + "_" + std::to_string(c));
+        dn->set_sink(
+            [lo, c, k](Packet&& p) { lo->receive(k + c, std::move(p)); });
+        lo->connect_input_upstream(k + c, dn);
+        hi->connect_output(hi_port, dn);
+      }
+    }
+  }
+
+  for (auto& r : routers_) {
+    r->start();
+  }
+}
+
+Link* FatTreeNetwork::new_link(std::string link_name) {
+  links_.push_back(std::make_unique<Link>(
+      kernel_, name() + "." + std::move(link_name), params_.link));
+  return links_.back().get();
+}
+
+unsigned FatTreeNetwork::digit(std::uint64_t x, unsigned i) const {
+  return static_cast<unsigned>(x / ipow(params_.radix, i) % params_.radix);
+}
+
+std::uint64_t FatTreeNetwork::set_digit(std::uint64_t x, unsigned i,
+                                        unsigned v) const {
+  const std::uint64_t p = ipow(params_.radix, i);
+  const unsigned old = digit(x, i);
+  return x + (static_cast<std::uint64_t>(v) - old) * p;
+}
+
+std::size_t FatTreeNetwork::router_index(unsigned level,
+                                         std::uint64_t w) const {
+  return level * routers_per_level_ + w;
+}
+
+unsigned FatTreeNetwork::route_at(unsigned level, std::uint64_t w,
+                                  const Packet& pkt) const {
+  const unsigned k = params_.radix;
+  const std::uint64_t d = pkt.dest;
+  // Ancestor iff digits [level .. n-2] of w equal digits [level+1 .. n-1]
+  // of the destination node address.
+  bool ancestor = true;
+  for (unsigned i = level; i + 1 < levels_; ++i) {
+    if (digit(w, i) != digit(d, i + 1)) {
+      ancestor = false;
+      break;
+    }
+  }
+  if (ancestor) {
+    return digit(d, level);  // down port
+  }
+  return k + digit(d, level);  // up port (deterministic spread)
+}
+
+unsigned FatTreeNetwork::hops(sim::NodeId src, sim::NodeId dst) const {
+  if (src == dst) {
+    return 1;
+  }
+  // Lowest common ancestor level: the highest differing address digit.
+  unsigned lca = 0;
+  for (unsigned i = 0; i < levels_; ++i) {
+    if (digit(src, i) != digit(dst, i)) {
+      lca = i;
+    }
+  }
+  return 2 * lca + 1;  // up lca routers, through the top one, down lca
+}
+
+void FatTreeNetwork::set_endpoint(sim::NodeId node, Deliver deliver) {
+  endpoints_.at(node) = std::move(deliver);
+}
+
+sim::Co<void> FatTreeNetwork::inject(Packet pkt) {
+  if (pkt.dest >= params_.nodes) {
+    throw std::out_of_range(name() + ": bad destination node");
+  }
+  pkt.inject_time = now();
+  pkt.serial = next_serial_++;
+  co_await inject_links_[pkt.src]->send(std::move(pkt));
+}
+
+void FatTreeNetwork::consume_done(sim::NodeId node, std::uint8_t priority) {
+  eject_links_.at(node)->return_credit(priority);
+}
+
+}  // namespace sv::net

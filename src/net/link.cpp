@@ -1,0 +1,50 @@
+#include "net/link.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace sv::net {
+
+Link::Link(sim::Kernel& kernel, std::string name, Params params)
+    : sim::SimObject(kernel, std::move(name)),
+      params_(params),
+      credits_{params.credits_per_priority, params.credits_per_priority},
+      credit_freed_(kernel),
+      wire_(kernel, 1) {}
+
+sim::Co<void> Link::send(Packet pkt) {
+  assert(pkt.priority < kNumPriorities);
+  assert(deliver_ && "link has no sink");
+  assert(pkt.payload.size() <= kMaxPayloadBytes);
+
+  // Acquire a receiver buffer credit for this priority class.
+  while (credits_[pkt.priority] == 0) {
+    co_await credit_freed_;
+  }
+  --credits_[pkt.priority];
+
+  // Serialize on the wire.
+  co_await wire_.acquire();
+  const sim::Tick ser =
+      params_.clock.to_ticks(serialize_cycles(pkt.wire_bytes()));
+  busy_.add_busy(ser);
+  packets_.inc();
+  bytes_.inc(pkt.wire_bytes());
+  co_await sim::delay(kernel_, ser);
+  wire_.release();
+
+  // Propagate: the packet arrives at the far end after the wire delay.
+  const sim::Tick prop = params_.clock.to_ticks(params_.propagation_cycles);
+  kernel_.schedule(prop, [this, p = std::move(pkt)]() mutable {
+    deliver_(std::move(p));
+  });
+}
+
+void Link::return_credit(std::uint8_t priority) {
+  assert(priority < kNumPriorities);
+  assert(credits_[priority] < params_.credits_per_priority);
+  ++credits_[priority];
+  credit_freed_.pulse();
+}
+
+}  // namespace sv::net

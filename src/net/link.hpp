@@ -1,0 +1,73 @@
+// Unidirectional Arctic link with credit-based flow control.
+//
+// A link models the 16-bit-wide, 80 MHz Arctic channel: 2 bytes per link
+// cycle = 160 MB/s per direction. The receiver grants a fixed number of
+// packet credits per priority class; the sender must hold a credit before
+// serializing a packet, which bounds receiver buffering and propagates
+// backpressure hop by hop. Credits are returned by the receiver when the
+// packet leaves its input buffer.
+//
+// Exactly one packet serializes on the wire at a time; priority selection
+// among waiting packets is the *sender's* job (router output stage / NIU
+// TxU), so the link itself never queues more than one send.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "net/packet.hpp"
+#include "sim/coro.hpp"
+#include "sim/kernel.hpp"
+#include "sim/stats.hpp"
+
+namespace sv::net {
+
+class Link : public sim::SimObject {
+ public:
+  struct Params {
+    sim::Clock clock{12500};        // 80 MHz link clock
+    std::uint32_t bytes_per_cycle = 2;  // 16-bit channel
+    sim::Cycles propagation_cycles = 3; // wire + synchronizer
+    std::uint32_t credits_per_priority = 2;  // receiver buffer slots
+  };
+
+  /// Called when a packet fully arrives at the receiving end.
+  using Deliver = std::function<void(Packet&&)>;
+
+  Link(sim::Kernel& kernel, std::string name, Params params);
+
+  void set_sink(Deliver deliver) { deliver_ = std::move(deliver); }
+
+  /// Transmit one packet: waits for a credit of the packet's priority,
+  /// serializes it on the wire, and schedules delivery at the far end after
+  /// propagation. Returns when the wire is free again (tail has left).
+  sim::Co<void> send(Packet pkt);
+
+  /// Receiver-side: return one buffer credit for `priority`.
+  void return_credit(std::uint8_t priority);
+
+  [[nodiscard]] std::uint32_t credits(std::uint8_t priority) const {
+    return credits_[priority];
+  }
+
+  [[nodiscard]] sim::Cycles serialize_cycles(std::size_t bytes) const {
+    return (bytes + params_.bytes_per_cycle - 1) / params_.bytes_per_cycle;
+  }
+
+  [[nodiscard]] const sim::Counter& packets_sent() const { return packets_; }
+  [[nodiscard]] const sim::Counter& bytes_sent() const { return bytes_; }
+  [[nodiscard]] const sim::BusyTracker& busy() const { return busy_; }
+  [[nodiscard]] const Params& params() const { return params_; }
+
+ private:
+  Params params_;
+  Deliver deliver_;
+  std::uint32_t credits_[kNumPriorities];
+  sim::Signal credit_freed_;
+  sim::Semaphore wire_;
+  sim::Counter packets_;
+  sim::Counter bytes_;
+  sim::BusyTracker busy_;
+};
+
+}  // namespace sv::net

@@ -1,0 +1,49 @@
+#include "net/network.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace sv::net {
+
+IdealNetwork::IdealNetwork(sim::Kernel& kernel, std::string name,
+                           Params params)
+    : Network(kernel, std::move(name)), params_(params) {
+  endpoints_.resize(params_.nodes);
+  inject_ports_.reserve(params_.nodes);
+  for (std::size_t i = 0; i < params_.nodes; ++i) {
+    inject_ports_.push_back(std::make_unique<sim::Semaphore>(kernel, 1));
+  }
+}
+
+void IdealNetwork::set_endpoint(sim::NodeId node, Deliver deliver) {
+  endpoints_.at(node) = std::move(deliver);
+}
+
+sim::Co<void> IdealNetwork::inject(Packet pkt) {
+  if (pkt.dest >= params_.nodes) {
+    throw std::out_of_range(name() + ": bad destination node");
+  }
+  assert(endpoints_[pkt.dest] && "destination endpoint not attached");
+  pkt.inject_time = now();
+  pkt.serial = next_serial_++;
+
+  auto& port = *inject_ports_[pkt.src];
+  co_await port.acquire();
+  const sim::Cycles ser_cycles =
+      (pkt.wire_bytes() + params_.bytes_per_cycle - 1) /
+      params_.bytes_per_cycle;
+  co_await sim::delay(kernel_, params_.link_clock.to_ticks(ser_cycles));
+  port.release();
+
+  kernel_.schedule(params_.latency, [this, p = std::move(pkt)]() mutable {
+    count_delivery(p);
+    endpoints_[p.dest](std::move(p));
+  });
+}
+
+void IdealNetwork::consume_done(sim::NodeId node, std::uint8_t priority) {
+  (void)node;
+  (void)priority;  // infinite buffering: nothing to return
+}
+
+}  // namespace sv::net

@@ -1,0 +1,83 @@
+// Network facade: what a NIU sees of the interconnect.
+//
+// Implementations: FatTreeNetwork (the Arctic fat tree) and IdealNetwork
+// (fixed-latency, used for unit tests and as an ablation baseline).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/coro.hpp"
+#include "sim/kernel.hpp"
+#include "sim/stats.hpp"
+
+namespace sv::net {
+
+class Network : public sim::SimObject {
+ public:
+  using Deliver = std::function<void(Packet&&)>;
+
+  Network(sim::Kernel& kernel, std::string name)
+      : sim::SimObject(kernel, std::move(name)) {}
+
+  /// Register the delivery callback for packets addressed to `node`.
+  virtual void set_endpoint(sim::NodeId node, Deliver deliver) = 0;
+
+  /// Inject a packet at its source node. Suspends the caller for source-link
+  /// credit and serialization (this is the NIU TxU's injection port).
+  virtual sim::Co<void> inject(Packet pkt) = 0;
+
+  /// The endpoint signals it has drained one packet of `priority` from its
+  /// ingress buffer, freeing a flow-control credit.
+  virtual void consume_done(sim::NodeId node, std::uint8_t priority) = 0;
+
+  [[nodiscard]] virtual std::size_t num_nodes() const = 0;
+
+  [[nodiscard]] const sim::Counter& packets_delivered() const {
+    return delivered_;
+  }
+  [[nodiscard]] const sim::Histogram& transit_ps() const { return transit_; }
+
+ protected:
+  void count_delivery(const Packet& pkt) {
+    delivered_.inc();
+    transit_.sample(now() - pkt.inject_time);
+  }
+
+  std::uint64_t next_serial_ = 0;
+
+ private:
+  sim::Counter delivered_;
+  sim::Histogram transit_;
+};
+
+/// Fixed-latency, contention-free network. Each source still serializes its
+/// own injections at link bandwidth (so bandwidth numbers stay meaningful),
+/// but the fabric itself is ideal. Per-(src,dst,priority) FIFO order holds.
+class IdealNetwork final : public Network {
+ public:
+  struct Params {
+    std::size_t nodes = 2;
+    sim::Tick latency = 500 * sim::kNanosecond;
+    sim::Clock link_clock{12500};
+    std::uint32_t bytes_per_cycle = 2;
+  };
+
+  IdealNetwork(sim::Kernel& kernel, std::string name, Params params);
+
+  void set_endpoint(sim::NodeId node, Deliver deliver) override;
+  sim::Co<void> inject(Packet pkt) override;
+  void consume_done(sim::NodeId node, std::uint8_t priority) override;
+  [[nodiscard]] std::size_t num_nodes() const override {
+    return params_.nodes;
+  }
+
+ private:
+  Params params_;
+  std::vector<Deliver> endpoints_;
+  std::vector<std::unique_ptr<sim::Semaphore>> inject_ports_;
+};
+
+}  // namespace sv::net

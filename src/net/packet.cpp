@@ -1,0 +1,19 @@
+#include "net/packet.hpp"
+
+#include <sstream>
+
+namespace sv::net {
+
+std::string Packet::summary() const {
+  std::ostringstream oss;
+  oss << "pkt[" << src << "->" << dest << " q=" << dest_queue
+      << " prio=" << static_cast<int>(priority) << " len=" << payload.size()
+      << " #" << serial << "]";
+  return oss.str();
+}
+
+std::vector<std::byte> to_payload(std::span<const std::byte> s) {
+  return std::vector<std::byte>(s.begin(), s.end());
+}
+
+}  // namespace sv::net

@@ -1,0 +1,55 @@
+// Arctic network packets.
+//
+// An Arctic packet carries an 8-byte header and up to 88 bytes of payload
+// (the Basic message maximum). Two priority classes exist; the NIU uses the
+// high-priority class for protocol replies so that request/reply protocols
+// cannot deadlock the network.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace sv::net {
+
+inline constexpr std::size_t kHeaderBytes = 8;
+inline constexpr std::size_t kMaxPayloadBytes = 88;
+inline constexpr std::size_t kMaxPacketBytes = kHeaderBytes + kMaxPayloadBytes;
+
+inline constexpr unsigned kNumPriorities = 2;
+inline constexpr std::uint8_t kPriorityLow = 0;
+inline constexpr std::uint8_t kPriorityHigh = 1;
+
+/// Logical receive-queue numbers live in a large namespace; a handful of
+/// well-known values address NIU-internal queues rather than user queues.
+using QueueId = std::uint16_t;
+
+/// Messages addressed to this queue id are enqueued on the destination
+/// NIU's remote command queue and executed by its CTRL.
+inline constexpr QueueId kRemoteCmdQueue = 0xFFFF;
+
+struct Packet {
+  sim::NodeId dest = 0;
+  sim::NodeId src = 0;
+  QueueId dest_queue = 0;
+  std::uint8_t priority = kPriorityLow;
+  std::vector<std::byte> payload;
+
+  // Bookkeeping (not on the wire).
+  sim::Tick inject_time = 0;
+  std::uint64_t serial = 0;
+
+  [[nodiscard]] std::size_t wire_bytes() const {
+    return kHeaderBytes + payload.size();
+  }
+
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Build a payload vector from an arbitrary byte span (convenience).
+[[nodiscard]] std::vector<std::byte> to_payload(std::span<const std::byte> s);
+
+}  // namespace sv::net

@@ -1,0 +1,78 @@
+// Arctic-style packet router.
+//
+// The modelled router has per-input, per-priority packet buffers, a routing
+// function supplied by the topology, and one output process per output port
+// that selects among buffered head packets (high priority strictly first,
+// round-robin within a priority class) — the scheduling discipline the
+// Arctic switch implements. Forwarding a packet takes a fall-through delay
+// plus serialization on the output link; upstream credits are returned the
+// moment a packet leaves its input buffer.
+#pragma once
+
+#include <array>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/link.hpp"
+#include "net/packet.hpp"
+#include "sim/coro.hpp"
+#include "sim/kernel.hpp"
+#include "sim/stats.hpp"
+
+namespace sv::net {
+
+class Router : public sim::SimObject {
+ public:
+  struct Params {
+    unsigned num_inputs = 8;
+    unsigned num_outputs = 8;
+    sim::Clock clock{12500};
+    sim::Cycles fall_through_cycles = 3;  // header decode + crossbar
+  };
+
+  /// Maps a packet to the output port it must leave through.
+  using RouteFn = std::function<unsigned(const Packet&)>;
+
+  Router(sim::Kernel& kernel, std::string name, Params params, RouteFn route);
+
+  /// Receive a packet on input port `in` (wired as the upstream link's sink).
+  void receive(unsigned in, Packet&& pkt);
+
+  /// Wire output port `out` to `link` (not owned).
+  void connect_output(unsigned out, Link* link);
+
+  /// Wire the upstream link of input port `in`, for credit returns.
+  void connect_input_upstream(unsigned in, Link* link);
+
+  /// Spawn the output processes. Call once after wiring.
+  void start();
+
+  [[nodiscard]] const sim::Counter& packets_routed() const {
+    return routed_;
+  }
+
+ private:
+  struct InPort {
+    std::array<std::deque<Packet>, kNumPriorities> vq;
+    Link* upstream = nullptr;
+  };
+
+  sim::Co<void> output_process(unsigned out);
+
+  /// Find a buffered head packet routed to `out`; highest priority first,
+  /// round-robin across inputs within a priority. Returns input index or -1.
+  int pick_input(unsigned out, std::uint8_t priority);
+
+  Params params_;
+  RouteFn route_;
+  std::vector<InPort> inputs_;
+  std::vector<Link*> outputs_;
+  std::vector<unsigned> rr_next_;  // per output: next input for round-robin
+  sim::Signal work_;
+  sim::Counter routed_;
+  bool started_ = false;
+};
+
+}  // namespace sv::net

@@ -1,0 +1,65 @@
+// The two block-operation units (paper section 4).
+//
+// The block-read unit streams up to one aligned page of aP DRAM into SRAM
+// by issuing line-burst reads on the aP bus. The block-transmit unit
+// packetizes an SRAM region into remote kWriteApDram commands and injects
+// them into the network. kBlockXfer chains the two through a double-buffered
+// staging area, giving the "very efficient DMA" the paper describes: the
+// read of chunk i+1 overlaps the transmission of chunk i.
+#pragma once
+
+#include "niu/command.hpp"
+#include "sim/coro.hpp"
+#include "sim/stats.hpp"
+
+namespace sv::niu {
+
+class Ctrl;
+
+inline constexpr std::uint32_t kBlockMaxBytes = 4096;  // one page
+
+class BlockEngines {
+ public:
+  explicit BlockEngines(Ctrl& ctrl);
+
+  /// aP DRAM -> SRAM. cmd.len must be <= kBlockMaxBytes and must not cross
+  /// a page boundary (firmware splits larger requests; see fw::DmaEngine).
+  sim::Co<void> block_read(Command cmd);
+
+  /// SRAM -> network (remote kWriteApDram commands to cmd.dest_node).
+  sim::Co<void> block_tx(Command cmd);
+
+  /// Chained read+tx with double buffering through the staging area at
+  /// cmd.bank/cmd.sram_offset (2 * chunk bytes of SRAM).
+  sim::Co<void> block_xfer(Command cmd);
+
+  /// Diff-ing transmit: send only modified lines (see CmdOp::kBlockDiffTx).
+  sim::Co<void> block_diff_tx(Command cmd);
+
+  [[nodiscard]] unsigned outstanding() const { return outstanding_; }
+  sim::Signal& drained() { return drained_; }
+
+  void begin_op() { ++outstanding_; }
+  void end_op() {
+    --outstanding_;
+    if (outstanding_ == 0) {
+      drained_.pulse();
+    }
+  }
+
+ private:
+  /// One staged chunk: read `len` bytes of DRAM at `addr` into SRAM.
+  sim::Co<void> read_chunk(const Command& cmd, mem::Addr addr,
+                           std::uint32_t sram_offset, std::uint32_t len);
+  /// Send `len` bytes of SRAM as remote write commands.
+  sim::Co<void> tx_chunk(const Command& cmd, std::uint32_t sram_offset,
+                         mem::Addr dest_addr, std::uint32_t len, bool last);
+
+  Ctrl& ctrl_;
+  sim::Semaphore read_unit_;
+  sim::Semaphore tx_unit_;
+  unsigned outstanding_ = 0;
+  sim::Signal drained_;
+};
+
+}  // namespace sv::niu

@@ -1,0 +1,153 @@
+// CTRL command set.
+//
+// Commands are the NIU's internal RPC: firmware (through the sBIU) posts
+// them to the two ordered local command queues, remote NIUs send them over
+// the network into the remote command queue, and the BIUs generate them in
+// hardware for compound operations. A single Command struct covers all ops;
+// field meaning depends on `op` (documented per op below).
+//
+// Ordering: local command queues execute strictly in order *except* block
+// operations, which are handed to the block engines and complete
+// asynchronously (paper section 4). A command with `fence` set waits for
+// all previously-issued block operations to finish first.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/backing_store.hpp"
+#include "net/packet.hpp"
+#include "niu/queues.hpp"
+
+namespace sv::niu {
+
+enum class CmdOp : std::uint8_t {
+  /// Write `data` into SRAM `bank` at `sram_offset`.
+  kWriteSram = 0,
+  /// Master-write `data` to aP DRAM at `addr` (coherent bus write). When
+  /// `set_cls` is set, also update clsSRAM state for the written lines to
+  /// `cls_bits` after the data lands (the approach-5 aBIU extension).
+  kWriteApDram,
+  /// Master-read `len` bytes from aP DRAM at `addr` into SRAM
+  /// `bank`/`sram_offset` (single transfer; block reads use kBlockRead).
+  kReadApDram,
+  /// Send a message: dest_node/queue/priority (raw) or vdest translation
+  /// when `translate` is set; payload = `data` plus an optional SRAM attach
+  /// of `attach_len` bytes from `bank`/`sram_offset` (TagOn path).
+  kSendMessage,
+  /// Set clsSRAM state for `len` bytes of lines starting at `addr` to
+  /// `cls_bits`.
+  kWriteClsState,
+  /// Issue a kill (invalidate) on the aP bus for the line at `addr`.
+  kBusKill,
+  /// Issue a flush (writeback+invalidate) on the aP bus for line `addr`.
+  kBusFlush,
+  /// NUMA: complete the pending retried aP load identified by `tag` with
+  /// `data` (the aBIU stops retrying and supplies the value).
+  kSupplyLoad,
+  /// Block engine: read `len` (<= one page) bytes of aP DRAM at `addr`
+  /// into SRAM `bank`/`sram_offset`.
+  kBlockRead,
+  /// Block engine: packetize `len` bytes of SRAM `bank`/`sram_offset` and
+  /// send them to `dest_node` as remote kWriteApDram commands targeting
+  /// `dest_addr`. Honors `set_cls`/`cls_bits` (remote clsSRAM update per
+  /// arriving chunk) and `remote_notify*` (a final remote kNotifyLocal).
+  kBlockTx,
+  /// Chained block read + block transmit (the "very efficient DMA" path):
+  /// aP DRAM `addr` -> SRAM staging at `bank`/`sram_offset` -> network to
+  /// `dest_node`/`dest_addr`, double-buffered across the two engines.
+  kBlockXfer,
+  /// Copy `len` bytes between SRAM banks: `bank`/`sram_offset` ->
+  /// `bank2`/`sram_offset2`.
+  kCopySram,
+  /// Diff-ing hardware (paper section 5, update-based shared memory):
+  /// send only the *modified* lines of [addr, addr+len) of aP DRAM to
+  /// `dest_node`/`dest_addr`. diff_mode 0 uses the clsSRAM dirty bits
+  /// maintained by the aBIU write tracker (and clears them); diff_mode 1
+  /// compares against an old copy staged at `bank`/`sram_offset` (and
+  /// refreshes it). Honors remote_notify.
+  kBlockDiffTx,
+  /// Enqueue `data` as a message into local logical rx queue `queue`
+  /// (delivery as if it arrived from node `src_node`).
+  kNotifyLocal,
+  /// Write CTRL system register `reg` = `value`.
+  kWriteReg,
+};
+
+inline constexpr net::QueueId kNoNotify = 0xFFFD;
+
+/// Logical rx queue that receives per-chunk arrival notifications for
+/// remote writes carrying `chunk_notify` (the approach-4 firmware path:
+/// the receiving sP learns each chunk has landed and opens its lines).
+inline constexpr net::QueueId kChunkArrivalQueue = 0xFFF0;
+
+struct Command {
+  CmdOp op = CmdOp::kWriteSram;
+
+  mem::Addr addr = 0;
+  std::uint32_t len = 0;
+
+  SramBank bank = SramBank::kASram;
+  std::uint32_t sram_offset = 0;
+  SramBank bank2 = SramBank::kASram;
+  std::uint32_t sram_offset2 = 0;
+
+  sim::NodeId dest_node = 0;
+  mem::Addr dest_addr = 0;
+  net::QueueId queue = 0;
+  std::uint8_t priority = net::kPriorityLow;
+  bool translate = false;
+  std::uint16_t vdest = 0;
+
+  bool set_cls = false;
+  std::uint8_t cls_bits = 0;
+
+  /// kWriteApDram only: after the data lands, notify the receiving node's
+  /// firmware via kChunkArrivalQueue with {addr, len}.
+  bool chunk_notify = false;
+
+  std::uint32_t attach_len = 0;  // kSendMessage SRAM attach size
+
+  std::uint32_t tag = 0;  // kSupplyLoad token / notify payload tag
+  std::uint16_t src_node = 0;
+
+  std::uint32_t reg = 0;
+  std::uint64_t value = 0;
+
+  /// kBlockDiffTx: 0 = clsSRAM dirty-bit tracked, 1 = value diff against
+  /// the staged old copy.
+  std::uint8_t diff_mode = 0;
+
+  bool fence = false;
+
+  /// Local completion notification: when not kNoNotify, CTRL enqueues an
+  /// 8-byte {tag} message into this logical rx queue after the command
+  /// (including any block work) completes.
+  net::QueueId notify_queue = kNoNotify;
+  std::uint32_t notify_tag = 0;
+
+  /// Remote completion (kBlockTx/kBlockXfer): after the final data packet,
+  /// send a kNotifyLocal to the destination for this queue/tag.
+  bool remote_notify = false;
+  net::QueueId remote_notify_queue = 0;
+  std::uint32_t remote_notify_tag = 0;
+
+  std::vector<std::byte> data;
+};
+
+/// Remote-command wire format: a fixed 16-byte header followed by payload.
+/// Only the ops that travel between nodes are encodable (kWriteApDram,
+/// kWriteClsState, kNotifyLocal, kSupplyLoad).
+inline constexpr std::size_t kRemoteCmdHeaderBytes = 16;
+inline constexpr std::size_t kRemoteCmdMaxData =
+    net::kMaxPayloadBytes - kRemoteCmdHeaderBytes;
+
+/// Encode `cmd` for the network. Throws std::invalid_argument for ops that
+/// cannot travel or payloads that exceed kRemoteCmdMaxData.
+[[nodiscard]] std::vector<std::byte> encode_remote(const Command& cmd);
+
+/// Decode a remote command payload. Throws std::invalid_argument on
+/// malformed input.
+[[nodiscard]] Command decode_remote(std::span<const std::byte> wire);
+
+}  // namespace sv::niu

@@ -1,0 +1,87 @@
+#include "niu/queues.hpp"
+
+#include <cstring>
+
+namespace sv::niu {
+
+namespace {
+
+void put_u16(std::byte* p, std::uint16_t v) {
+  p[0] = static_cast<std::byte>(v & 0xFF);
+  p[1] = static_cast<std::byte>((v >> 8) & 0xFF);
+}
+
+std::uint16_t get_u16(const std::byte* p) {
+  return static_cast<std::uint16_t>(static_cast<unsigned>(p[0]) |
+                                    (static_cast<unsigned>(p[1]) << 8));
+}
+
+void put_u32(std::byte* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    p[i] = static_cast<std::byte>((v >> (8 * i)) & 0xFF);
+  }
+}
+
+std::uint32_t get_u32(const std::byte* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+void MsgDescriptor::encode(std::byte out[8]) const {
+  put_u16(out, vdest);
+  out[2] = static_cast<std::byte>(length);
+  out[3] = static_cast<std::byte>(flags);
+  put_u32(out + 4, aux);
+}
+
+MsgDescriptor MsgDescriptor::decode(const std::byte in[8]) {
+  MsgDescriptor d;
+  d.vdest = get_u16(in);
+  d.length = static_cast<std::uint8_t>(in[2]);
+  d.flags = static_cast<std::uint8_t>(in[3]);
+  d.aux = get_u32(in + 4);
+  return d;
+}
+
+void XlatEntry::encode(std::byte out[8]) const {
+  put_u16(out, phys_node);
+  put_u16(out + 2, logical_queue);
+  out[4] = static_cast<std::byte>(priority);
+  out[5] = static_cast<std::byte>(valid ? 1 : 0);
+  out[6] = std::byte{0};
+  out[7] = std::byte{0};
+}
+
+XlatEntry XlatEntry::decode(const std::byte in[8]) {
+  XlatEntry e;
+  e.phys_node = get_u16(in);
+  e.logical_queue = get_u16(in + 2);
+  e.priority = static_cast<std::uint8_t>(in[4]);
+  e.valid = in[5] != std::byte{0};
+  return e;
+}
+
+void RxDescriptor::encode(std::byte out[8]) const {
+  put_u16(out, src_node);
+  out[2] = static_cast<std::byte>(length);
+  out[3] = static_cast<std::byte>(flags);
+  put_u16(out + 4, logical);
+  out[6] = std::byte{0};
+  out[7] = std::byte{0};
+}
+
+RxDescriptor RxDescriptor::decode(const std::byte in[8]) {
+  RxDescriptor d;
+  d.src_node = get_u16(in);
+  d.length = static_cast<std::uint8_t>(in[2]);
+  d.flags = static_cast<std::uint8_t>(in[3]);
+  d.logical = get_u16(in + 4);
+  return d;
+}
+
+}  // namespace sv::niu

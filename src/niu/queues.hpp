@@ -1,0 +1,151 @@
+// Queue descriptors: the state CTRL keeps for its 16 transmit and 16
+// receive hardware queues (paper section 4, "Underlying Queue Support").
+//
+// Producer/consumer pointers are free-running 16-bit counters; a queue with
+// S slots is full when producer - consumer == S and empty when they are
+// equal. Slot index = counter % S. Buffer storage lives in one of the two
+// dual-ported SRAM banks; only the pointers live inside CTRL.
+#pragma once
+
+#include <cstdint>
+
+#include "mem/backing_store.hpp"
+#include "net/packet.hpp"
+
+namespace sv::niu {
+
+enum class SramBank : std::uint8_t { kASram = 0, kSSram = 1 };
+
+/// Message slot layout (Basic format): an 8-byte descriptor followed by up
+/// to 88 bytes of data, so a slot is 96 bytes.
+inline constexpr std::uint32_t kBasicSlotBytes = 96;
+inline constexpr std::uint32_t kBasicHeaderBytes = 8;
+inline constexpr std::uint32_t kBasicMaxData = 88;
+
+/// Express slots hold the 8-byte packed message only.
+inline constexpr std::uint32_t kExpressSlotBytes = 8;
+inline constexpr std::uint32_t kExpressPayloadBytes = 5;
+
+/// TagOn attachment sizes: 1.5 or 2.5 cache lines (paper section 5).
+inline constexpr std::uint32_t kTagOnSmallBytes = 48;
+inline constexpr std::uint32_t kTagOnLargeBytes = 80;
+
+/// Basic message descriptor, the first 8 bytes of a Tx slot.
+///   bytes 0-1  virtual destination (or physical node when raw)
+///   byte  2    data length (0..88)
+///   byte  3    flags
+///   bytes 4-7  TagOn SRAM offset, or raw-mode destination queue (bytes 4-5)
+struct MsgDescriptor {
+  std::uint16_t vdest = 0;
+  std::uint8_t length = 0;
+  std::uint8_t flags = 0;
+  std::uint32_t aux = 0;
+
+  enum : std::uint8_t {
+    kFlagTagOn = 1 << 0,
+    kFlagTagOnLarge = 1 << 1,  // 80 bytes instead of 48
+    kFlagRaw = 1 << 2,         // bypass translation (trusted queues only)
+    kFlagHighPriority = 1 << 3,
+    kFlagTagOnSSram = 1 << 4,  // TagOn data comes from sSRAM, not aSRAM
+  };
+
+  [[nodiscard]] bool tagon() const { return (flags & kFlagTagOn) != 0; }
+  [[nodiscard]] std::uint32_t tagon_bytes() const {
+    return (flags & kFlagTagOnLarge) != 0 ? kTagOnLargeBytes
+                                          : kTagOnSmallBytes;
+  }
+  [[nodiscard]] bool raw() const { return (flags & kFlagRaw) != 0; }
+
+  void encode(std::byte out[8]) const;
+  static MsgDescriptor decode(const std::byte in[8]);
+};
+
+/// Destination-translation table entry (8 bytes, resident in sSRAM).
+struct XlatEntry {
+  std::uint16_t phys_node = 0;
+  net::QueueId logical_queue = 0;
+  std::uint8_t priority = net::kPriorityLow;
+  bool valid = false;
+
+  void encode(std::byte out[8]) const;
+  static XlatEntry decode(const std::byte in[8]);
+  static constexpr std::uint32_t kBytes = 8;
+};
+
+struct TxQueueState {
+  bool enabled = false;
+  bool shutdown = false;  // set on protection violation
+  bool express = false;   // slots hold packed express entries
+  bool raw_allowed = false;
+  bool translate = true;
+  SramBank bank = SramBank::kASram;
+  std::uint32_t base = 0;        // SRAM offset of the buffer region
+  std::uint16_t slots = 0;       // power of two
+  std::uint16_t slot_bytes = kBasicSlotBytes;
+  std::uint16_t producer = 0;    // advanced by the sender (aP/sP via BIU)
+  std::uint16_t consumer = 0;    // advanced by CTRL after launch
+  std::uint16_t and_mask = 0xFFFF;
+  std::uint16_t or_mask = 0;
+  std::uint8_t priority_class = 0;  // arbitration class (0 = lowest)
+
+  [[nodiscard]] std::uint16_t occupancy() const {
+    return static_cast<std::uint16_t>(producer - consumer);
+  }
+  [[nodiscard]] bool empty() const { return producer == consumer; }
+  [[nodiscard]] bool full() const { return occupancy() >= slots; }
+  [[nodiscard]] std::uint32_t slot_addr(std::uint16_t counter) const {
+    return base + static_cast<std::uint32_t>(counter % slots) * slot_bytes;
+  }
+};
+
+/// What to do with a message arriving at a full receive queue (section 4).
+enum class RxFullPolicy : std::uint8_t {
+  kDivert,  // send it to the miss/overflow queue (default)
+  kDrop,    // discard
+  kHold,    // stall the RxU until space frees (can deadlock the network)
+};
+
+struct RxQueueState {
+  bool enabled = false;
+  bool express = false;
+  bool interrupt_on_arrival = false;
+  SramBank bank = SramBank::kASram;
+  std::uint32_t base = 0;
+  std::uint16_t slots = 0;
+  std::uint16_t slot_bytes = kBasicSlotBytes;
+  std::uint16_t producer = 0;  // advanced by CTRL on arrival
+  std::uint16_t consumer = 0;  // advanced by the receiver via BIU
+  RxFullPolicy full_policy = RxFullPolicy::kDivert;
+  /// Logical queue id cached in this hardware queue (the rx-queue cache
+  /// "tag"); kLogicalNone when the queue is unbound.
+  net::QueueId logical = kLogicalNone;
+
+  static constexpr net::QueueId kLogicalNone = 0xFFFE;
+
+  [[nodiscard]] std::uint16_t occupancy() const {
+    return static_cast<std::uint16_t>(producer - consumer);
+  }
+  [[nodiscard]] bool empty() const { return producer == consumer; }
+  [[nodiscard]] bool full() const { return occupancy() >= slots; }
+  [[nodiscard]] std::uint32_t slot_addr(std::uint16_t counter) const {
+    return base + static_cast<std::uint32_t>(counter % slots) * slot_bytes;
+  }
+};
+
+/// Received-message slot layout (Basic): 8-byte rx descriptor + data.
+///   bytes 0-1  source node
+///   byte  2    data length
+///   byte  3    flags (bit0: valid)
+///   bytes 4-5  logical queue the message addressed
+///   bytes 6-7  reserved
+struct RxDescriptor {
+  std::uint16_t src_node = 0;
+  std::uint8_t length = 0;
+  std::uint8_t flags = 1;
+  net::QueueId logical = 0;
+
+  void encode(std::byte out[8]) const;
+  static RxDescriptor decode(const std::byte in[8]);
+};
+
+}  // namespace sv::niu

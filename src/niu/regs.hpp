@@ -1,0 +1,130 @@
+// NIU address map and system-register definitions (the aP's view).
+//
+// The NIU occupies the top of the node's physical address space. Regions:
+//
+//   kApDramBase    main memory (claimed by the memory controller); the
+//                  S-COMA region is ordinary local DRAM whose access is
+//                  gated line-by-line through clsSRAM state,
+//   kNumaBase      the 1 GB NUMA window: the aBIU forwards aP accesses in
+//                  this range to sP firmware,
+//   kNiuBase       the memory-mapped NIU windows described below.
+//
+// NIU windows (offsets from kNiuBase):
+//   aSRAM window      direct load/store access to aSRAM; message queue
+//                     buffers and the CTRL pointer shadows live here,
+//   Express Tx window address bits encode (tx queue, virtual destination,
+//                     one payload byte); the 4-byte store data completes the
+//                     5-byte express payload,
+//   Express Rx window an 8-byte uncached load pops one express message,
+//   Pointer window    stores encode producer/consumer pointer updates that
+//                     the aBIU forwards to CTRL,
+//   SysReg window     privileged CTRL system registers.
+#pragma once
+
+#include <cstdint>
+
+#include "mem/backing_store.hpp"
+
+namespace sv::niu {
+
+using mem::Addr;
+
+// --- Node physical address map ---------------------------------------------
+
+inline constexpr Addr kApDramBase = 0x0000'0000;
+inline constexpr Addr kApDramDefaultSize = 64ull * 1024 * 1024;
+
+inline constexpr Addr kNumaBase = 0x4000'0000;
+inline constexpr Addr kNumaSize = 0x4000'0000;  // 1 GB (paper section 5)
+
+inline constexpr Addr kScomaBase = 0x8000'0000;
+inline constexpr Addr kScomaDefaultSize = 16ull * 1024 * 1024;
+
+inline constexpr Addr kNiuBase = 0xF000'0000;
+
+inline constexpr Addr kAsramWindowOffset = 0x0000'0000;
+inline constexpr Addr kExpressTxWindowOffset = 0x0100'0000;
+inline constexpr Addr kExpressRxWindowOffset = 0x0200'0000;
+inline constexpr Addr kPtrWindowOffset = 0x0300'0000;
+inline constexpr Addr kSysRegWindowOffset = 0x0400'0000;
+inline constexpr Addr kNiuWindowSpan = 0x0500'0000;
+
+// --- Express Tx window encoding --------------------------------------------
+// addr = base + (queue << 18) + (vdest << 10) + (byte << 2)
+
+inline constexpr unsigned kExpressTxQueueShift = 18;
+inline constexpr unsigned kExpressTxDestShift = 10;
+inline constexpr unsigned kExpressTxByteShift = 2;
+
+[[nodiscard]] constexpr Addr express_tx_addr(unsigned queue, unsigned vdest,
+                                             std::uint8_t extra_byte) {
+  return (static_cast<Addr>(queue) << kExpressTxQueueShift) |
+         (static_cast<Addr>(vdest) << kExpressTxDestShift) |
+         (static_cast<Addr>(extra_byte) << kExpressTxByteShift);
+}
+
+// --- Express Rx window encoding --------------------------------------------
+// addr = base + queue * 16; an 8-byte load pops one message.
+
+inline constexpr Addr kExpressRxStride = 16;
+
+// --- Pointer window encoding ------------------------------------------------
+// addr = base + kind * 0x100 + queue * 0x10; the 4-byte store data is the
+// new free-running pointer value.
+
+enum class PtrKind : unsigned {
+  kTxProducer = 0,  // aP finished composing: launch
+  kRxConsumer = 1,  // aP finished receiving: free the slot
+};
+
+[[nodiscard]] constexpr Addr ptr_window_addr(PtrKind kind, unsigned queue) {
+  return static_cast<Addr>(kind) * 0x100 + static_cast<Addr>(queue) * 0x10;
+}
+
+// --- aSRAM pointer shadows ---------------------------------------------------
+// CTRL shadows the pointers it advances into the first 256 bytes of aSRAM so
+// the aP can poll them with plain loads (paper section 5).
+
+inline constexpr Addr kTxConsumerShadowBase = 0x00;  // + queue * 4
+inline constexpr Addr kRxProducerShadowBase = 0x80;  // + queue * 4
+inline constexpr Addr kShadowRegionBytes = 0x100;
+
+[[nodiscard]] constexpr Addr tx_consumer_shadow(unsigned queue) {
+  return kTxConsumerShadowBase + queue * 4;
+}
+[[nodiscard]] constexpr Addr rx_producer_shadow(unsigned queue) {
+  return kRxProducerShadowBase + queue * 4;
+}
+
+// --- System registers --------------------------------------------------------
+
+enum class SysReg : unsigned {
+  kTxPriority = 0,     // 2 bits per tx queue: arbitration class
+  kInterruptStatus,    // pending interrupt causes (read/clear)
+  kInterruptEnable,
+  kTranslationBase,    // sSRAM offset of the destination translation table
+  kTranslationSize,    // number of entries
+  kShutdownStatus,     // bitmask of shut-down (protection-violated) tx queues
+  kNodeId,
+  kCount,
+};
+
+/// Interrupt cause bits (kInterruptStatus).
+enum : std::uint64_t {
+  kIntrProtection = 1u << 0,   // tx protection violation, queue shut down
+  kIntrRxArrival = 1u << 1,    // message arrived on interrupt-enabled queue
+  kIntrCmdComplete = 1u << 2,  // command with notify completed
+  kIntrRxMiss = 1u << 3,       // message diverted to the miss queue
+};
+
+// --- Fixed hardware shape -----------------------------------------------------
+
+inline constexpr unsigned kNumTxQueues = 16;
+inline constexpr unsigned kNumRxQueues = 16;
+inline constexpr unsigned kNumCmdQueues = 2;
+inline constexpr unsigned kNumPriorityClasses = 4;
+
+/// Hardware rx queue reserved as the miss/overflow queue by convention.
+inline constexpr unsigned kMissRxQueue = 15;
+
+}  // namespace sv::niu

@@ -1,0 +1,71 @@
+// TxU / RxU: the network-facing datapath (one FPGA in the real NIU).
+//
+// TxU drains the transmit queues CTRL arbitrates (priority classes, then
+// round-robin) and launches messages; RxU accepts packets from the network
+// — high priority strictly first — and hands them to CTRL's receive
+// dispatch (queue-cache lookup, full-queue policies, remote commands).
+// Network flow-control credits are returned only after CTRL accepts a
+// packet, so a held receive queue backpressures the fabric, reproducing the
+// deadlock hazard the paper attributes to the kHold policy.
+#pragma once
+
+#include <array>
+#include <deque>
+
+#include "net/network.hpp"
+#include "niu/ctrl.hpp"
+#include "sim/coro.hpp"
+#include "sim/kernel.hpp"
+
+namespace sv::niu {
+
+class TxU : public sim::SimObject {
+ public:
+  struct Params {
+    sim::Clock clock{15000};
+    sim::Cycles per_message_cycles = 2;  // formatting overhead
+  };
+
+  TxU(sim::Kernel& kernel, std::string name, Ctrl& ctrl, Params params);
+
+  /// Spawn the transmit process.
+  void start();
+
+ private:
+  sim::Co<void> loop();
+
+  Ctrl& ctrl_;
+  Params params_;
+  bool started_ = false;
+};
+
+class RxU : public sim::SimObject {
+ public:
+  struct Params {
+    sim::Clock clock{15000};
+    sim::Cycles per_message_cycles = 2;
+  };
+
+  RxU(sim::Kernel& kernel, std::string name, Ctrl& ctrl,
+      net::Network& network, Params params);
+
+  /// Register with the network and spawn the receive process.
+  void start();
+
+  [[nodiscard]] std::size_t buffered() const {
+    return vq_[0].size() + vq_[1].size();
+  }
+
+ private:
+  void deliver(net::Packet&& pkt);
+  sim::Co<void> loop();
+
+  Ctrl& ctrl_;
+  net::Network& network_;
+  Params params_;
+  std::array<std::deque<net::Packet>, net::kNumPriorities> vq_;
+  sim::Signal arrived_;
+  bool started_ = false;
+};
+
+}  // namespace sv::niu

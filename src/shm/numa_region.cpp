@@ -1,0 +1,5 @@
+#include "shm/numa_region.hpp"
+
+// Header-only accessors; this translation unit exists to give the target a
+// stable archive member and a place for future out-of-line additions.
+namespace sv::shm {}

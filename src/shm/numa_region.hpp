@@ -1,0 +1,50 @@
+// aP-side view of the NUMA shared-memory window (paper section 5).
+//
+// Applications access the window with ordinary uncached loads/stores; the
+// aBIU forwards them to firmware, which runs the remote-access protocol.
+// This class only provides typed accessors and address arithmetic — there
+// is deliberately no magic, the mechanism lives in the NIU.
+#pragma once
+
+#include "cpu/processor.hpp"
+#include "niu/regs.hpp"
+#include "sim/coro.hpp"
+
+namespace sv::shm {
+
+class NumaRegion {
+ public:
+  NumaRegion(cpu::Processor& ap, mem::Addr base = niu::kNumaBase,
+             mem::Addr size = niu::kNumaSize)
+      : ap_(ap), base_(base), size_(size) {}
+
+  [[nodiscard]] mem::Addr addr(mem::Addr offset) const {
+    return base_ + offset;
+  }
+  [[nodiscard]] mem::Addr base() const { return base_; }
+  [[nodiscard]] mem::Addr size() const { return size_; }
+
+  template <typename T>
+  sim::Co<T> load(mem::Addr offset) {
+    co_return co_await ap_.load_scalar<T>(addr(offset), /*cached=*/false);
+  }
+
+  template <typename T>
+  sim::Co<void> store(mem::Addr offset, T v) {
+    co_await ap_.store_scalar<T>(addr(offset), v, /*cached=*/false);
+  }
+
+  sim::Co<void> read(mem::Addr offset, std::span<std::byte> out) {
+    co_await ap_.load_uncached(addr(offset), out);
+  }
+  sim::Co<void> write(mem::Addr offset, std::span<const std::byte> in) {
+    co_await ap_.store_uncached(addr(offset), in);
+  }
+
+ private:
+  cpu::Processor& ap_;
+  mem::Addr base_;
+  mem::Addr size_;
+};
+
+}  // namespace sv::shm

@@ -1,0 +1,4 @@
+#include "shm/scoma_region.hpp"
+
+// Header-only accessors; see numa_region.cpp.
+namespace sv::shm {}

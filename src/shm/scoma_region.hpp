@@ -1,0 +1,58 @@
+// aP-side view of the S-COMA region (paper section 5).
+//
+// The region is globally shared; every node's DRAM acts as an L3 cache for
+// it, gated by clsSRAM state the aBIU checks on every bus operation.
+// Applications use plain *cached* loads and stores — misses stall on bus
+// retries until firmware (or block-transfer hardware, approaches 4/5)
+// opens the line. The simulator exposes exactly that: cached accesses via
+// the processor, nothing else.
+#pragma once
+
+#include "cpu/processor.hpp"
+#include "niu/regs.hpp"
+#include "sim/coro.hpp"
+
+namespace sv::shm {
+
+class ScomaRegion {
+ public:
+  ScomaRegion(cpu::Processor& ap, mem::Addr base = niu::kScomaBase,
+              mem::Addr size = niu::kScomaDefaultSize)
+      : ap_(ap), base_(base), size_(size) {}
+
+  [[nodiscard]] mem::Addr addr(mem::Addr offset) const {
+    return base_ + offset;
+  }
+  [[nodiscard]] mem::Addr base() const { return base_; }
+  [[nodiscard]] mem::Addr size() const { return size_; }
+
+  template <typename T>
+  sim::Co<T> load(mem::Addr offset) {
+    co_return co_await ap_.load_scalar<T>(addr(offset), /*cached=*/true);
+  }
+
+  template <typename T>
+  sim::Co<void> store(mem::Addr offset, T v) {
+    co_await ap_.store_scalar<T>(addr(offset), v, /*cached=*/true);
+  }
+
+  sim::Co<void> read(mem::Addr offset, std::span<std::byte> out) {
+    co_await ap_.load(addr(offset), out);
+  }
+  sim::Co<void> write(mem::Addr offset, std::span<const std::byte> in) {
+    co_await ap_.store(addr(offset), in);
+  }
+
+  /// Push any dirty cached copies of [offset, offset+len) back to the local
+  /// DRAM L3 (useful before handing data to the NIU's block engines).
+  sim::Co<void> flush(mem::Addr offset, std::size_t len) {
+    co_await ap_.flush_range(addr(offset), len);
+  }
+
+ private:
+  cpu::Processor& ap_;
+  mem::Addr base_;
+  mem::Addr size_;
+};
+
+}  // namespace sv::shm

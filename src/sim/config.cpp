@@ -1,0 +1,75 @@
+#include "sim/config.hpp"
+
+#include <stdexcept>
+
+namespace sv::sim {
+
+Config Config::from_args(const std::vector<std::string>& args) {
+  Config cfg;
+  for (const auto& arg : args) {
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      throw std::invalid_argument("Config: expected key=value, got: " + arg);
+    }
+    cfg.set(arg.substr(0, eq), arg.substr(eq + 1));
+  }
+  return cfg;
+}
+
+void Config::set_u64(const std::string& key, std::uint64_t value) {
+  values_[key] = std::to_string(value);
+}
+
+void Config::set_double(const std::string& key, double value) {
+  values_[key] = std::to_string(value);
+}
+
+void Config::set_bool(const std::string& key, bool value) {
+  values_[key] = value ? "true" : "false";
+}
+
+std::string Config::get_string(const std::string& key,
+                               const std::string& def) const {
+  auto it = values_.find(key);
+  return it != values_.end() ? it->second : def;
+}
+
+std::uint64_t Config::get_u64(const std::string& key,
+                              std::uint64_t def) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) {
+    return def;
+  }
+  return std::stoull(it->second, nullptr, 0);
+}
+
+double Config::get_double(const std::string& key, double def) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) {
+    return def;
+  }
+  return std::stod(it->second);
+}
+
+bool Config::get_bool(const std::string& key, bool def) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) {
+    return def;
+  }
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes" || v == "on") {
+    return true;
+  }
+  if (v == "false" || v == "0" || v == "no" || v == "off") {
+    return false;
+  }
+  throw std::invalid_argument("Config: bad bool for " + key + ": " + v);
+}
+
+void Config::merge(const Config& other) {
+  for (const auto& [k, v] : other.values_) {
+    values_[k] = v;
+  }
+}
+
+}  // namespace sv::sim

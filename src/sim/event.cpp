@@ -1,0 +1,17 @@
+#include "sim/event.hpp"
+
+#include <utility>
+
+namespace sv::sim {
+
+void EventQueue::push(Tick when, Callback fn) {
+  heap_.push(Entry{when, next_seq_++, std::move(fn)});
+}
+
+EventQueue::Callback EventQueue::pop() {
+  Callback fn = std::move(heap_.top().fn);
+  heap_.pop();
+  return fn;
+}
+
+}  // namespace sv::sim

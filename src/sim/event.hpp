@@ -1,0 +1,55 @@
+// Event queue for the discrete-event kernel.
+//
+// Events are arbitrary callables scheduled at an absolute Tick. Ties are
+// broken by insertion sequence number, which makes every simulation run
+// fully deterministic for a given program.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace sv::sim {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedule `fn` to run at absolute time `when`.
+  void push(Tick when, Callback fn);
+
+  /// True when no events remain.
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+
+  /// Time of the earliest pending event. Precondition: !empty().
+  [[nodiscard]] Tick next_time() const { return heap_.top().when; }
+
+  /// Remove and return the earliest event's callback. Precondition: !empty().
+  Callback pop();
+
+  /// Total number of events ever scheduled (diagnostic).
+  [[nodiscard]] std::uint64_t total_scheduled() const { return next_seq_; }
+
+ private:
+  struct Entry {
+    Tick when;
+    std::uint64_t seq;
+    // Mutable so we can move the callback out of the priority queue's
+    // const top() reference without copying; ordering never inspects it.
+    mutable Callback fn;
+
+    bool operator>(const Entry& o) const {
+      return when != o.when ? when > o.when : seq > o.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace sv::sim

@@ -1,0 +1,54 @@
+#include "sim/kernel.hpp"
+
+#include <stdexcept>
+
+namespace sv::sim {
+
+void Kernel::schedule_abs(Tick when, EventQueue::Callback fn) {
+  if (when < now_) {
+    throw std::logic_error("Kernel::schedule_abs: time in the past");
+  }
+  events_.push(when, std::move(fn));
+}
+
+Tick Kernel::run() {
+  while (!events_.empty()) {
+    now_ = events_.next_time();
+    auto fn = events_.pop();
+    fn();
+    ++executed_;
+    if (event_limit_ != 0 && executed_ >= event_limit_) {
+      throw std::runtime_error("Kernel: event limit exceeded (runaway?)");
+    }
+  }
+  return now_;
+}
+
+Tick Kernel::run_until(Tick t) {
+  while (!events_.empty() && events_.next_time() <= t) {
+    now_ = events_.next_time();
+    auto fn = events_.pop();
+    fn();
+    ++executed_;
+    if (event_limit_ != 0 && executed_ >= event_limit_) {
+      throw std::runtime_error("Kernel: event limit exceeded (runaway?)");
+    }
+  }
+  if (now_ < t) {
+    now_ = t;
+  }
+  return now_;
+}
+
+bool Kernel::step() {
+  if (events_.empty()) {
+    return false;
+  }
+  now_ = events_.next_time();
+  auto fn = events_.pop();
+  fn();
+  ++executed_;
+  return true;
+}
+
+}  // namespace sv::sim

@@ -1,0 +1,85 @@
+// The discrete-event simulation kernel.
+//
+// A Kernel owns the event queue and the global notion of "now". All simulated
+// hardware units (SimObjects) hold a reference to one Kernel and schedule
+// their activity on it. Execution is strictly sequential and deterministic:
+// events at equal times run in scheduling order.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/event.hpp"
+#include "sim/types.hpp"
+
+namespace sv::sim {
+
+class Kernel {
+ public:
+  Kernel() = default;
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  [[nodiscard]] Tick now() const { return now_; }
+
+  /// Schedule `fn` to run `delta` ticks from now (delta may be 0: the event
+  /// runs after all currently-executing work, still at the same time).
+  void schedule(Tick delta, EventQueue::Callback fn) {
+    events_.push(now_ + delta, std::move(fn));
+  }
+
+  /// Schedule `fn` at an absolute time, which must be >= now().
+  void schedule_abs(Tick when, EventQueue::Callback fn);
+
+  /// Run until the event queue drains. Returns the final time.
+  Tick run();
+
+  /// Run events with time <= `t`; afterwards now() == t unless the queue
+  /// drained earlier (then now() is the last event time).
+  Tick run_until(Tick t);
+
+  /// Run exactly one event if any is pending. Returns false when idle.
+  bool step();
+
+  [[nodiscard]] bool idle() const { return events_.empty(); }
+
+  /// Time of the next pending event, or kTickInvalid when idle.
+  [[nodiscard]] Tick next_event_time() const {
+    return events_.empty() ? kTickInvalid : events_.next_time();
+  }
+
+  [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
+
+  /// Hard cap on events per run() call, as a runaway guard for tests.
+  /// 0 disables the cap.
+  void set_event_limit(std::uint64_t limit) { event_limit_ = limit; }
+
+ private:
+  EventQueue events_;
+  Tick now_ = 0;
+  std::uint64_t executed_ = 0;
+  std::uint64_t event_limit_ = 0;
+};
+
+/// Base class for named simulated components.
+class SimObject {
+ public:
+  SimObject(Kernel& kernel, std::string name)
+      : kernel_(kernel), name_(std::move(name)) {}
+  virtual ~SimObject() = default;
+
+  SimObject(const SimObject&) = delete;
+  SimObject& operator=(const SimObject&) = delete;
+
+  [[nodiscard]] Kernel& kernel() const { return kernel_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] Tick now() const { return kernel_.now(); }
+
+ protected:
+  Kernel& kernel_;  // NOLINT(misc-non-private-member-variables-in-classes)
+
+ private:
+  std::string name_;
+};
+
+}  // namespace sv::sim

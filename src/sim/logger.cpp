@@ -1,0 +1,72 @@
+#include "sim/logger.hpp"
+
+#include <cstdio>
+#include <map>
+
+#include "sim/kernel.hpp"
+
+namespace sv::sim {
+
+namespace {
+
+LogLevel g_global_level = LogLevel::kWarn;
+std::map<std::string, LogLevel>& overrides() {
+  static std::map<std::string, LogLevel> m;
+  return m;
+}
+
+}  // namespace
+
+LogLevel LogConfig::global_level() { return g_global_level; }
+
+void LogConfig::set_global_level(LogLevel lvl) { g_global_level = lvl; }
+
+void LogConfig::set_component_level(const std::string& component,
+                                    LogLevel lvl) {
+  overrides()[component] = lvl;
+}
+
+LogLevel LogConfig::level_for(const std::string& component) {
+  auto it = overrides().find(component);
+  return it != overrides().end() ? it->second : g_global_level;
+}
+
+void LogConfig::reset() {
+  g_global_level = LogLevel::kWarn;
+  overrides().clear();
+}
+
+Logger::Logger(const Kernel& kernel, std::string component)
+    : kernel_(&kernel), component_(std::move(component)) {}
+
+bool Logger::enabled(LogLevel lvl) const {
+  return static_cast<int>(lvl) >=
+         static_cast<int>(LogConfig::level_for(component_));
+}
+
+void Logger::emit(LogLevel lvl, const std::string& message) const {
+  std::fprintf(stderr, "[%12llu ps] %-5.5s %-18.18s %s\n",
+               static_cast<unsigned long long>(kernel_->now()),
+               std::string(to_string(lvl)).c_str(), component_.c_str(),
+               message.c_str());
+}
+
+std::string_view to_string(LogLevel lvl) {
+  switch (lvl) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace sv::sim

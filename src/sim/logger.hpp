@@ -1,0 +1,86 @@
+// Lightweight structured logging for simulator components.
+//
+// Each component logs through a named Logger; a global level (and optional
+// per-component overrides) controls verbosity. Messages are prefixed with
+// the simulated time so traces read like hardware waveform annotations.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "sim/types.hpp"
+
+namespace sv::sim {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+class Kernel;
+
+/// Global logging configuration (process-wide; the simulator is
+/// single-threaded by design).
+class LogConfig {
+ public:
+  static LogLevel global_level();
+  static void set_global_level(LogLevel lvl);
+  static void set_component_level(const std::string& component, LogLevel lvl);
+  static LogLevel level_for(const std::string& component);
+  static void reset();
+};
+
+class Logger {
+ public:
+  Logger(const Kernel& kernel, std::string component);
+
+  [[nodiscard]] bool enabled(LogLevel lvl) const;
+
+  template <typename... Args>
+  void trace(const Args&... args) const {
+    log(LogLevel::kTrace, args...);
+  }
+  template <typename... Args>
+  void debug(const Args&... args) const {
+    log(LogLevel::kDebug, args...);
+  }
+  template <typename... Args>
+  void info(const Args&... args) const {
+    log(LogLevel::kInfo, args...);
+  }
+  template <typename... Args>
+  void warn(const Args&... args) const {
+    log(LogLevel::kWarn, args...);
+  }
+  template <typename... Args>
+  void error(const Args&... args) const {
+    log(LogLevel::kError, args...);
+  }
+
+  [[nodiscard]] const std::string& component() const { return component_; }
+
+ private:
+  template <typename... Args>
+  void log(LogLevel lvl, const Args&... args) const {
+    if (!enabled(lvl)) {
+      return;
+    }
+    std::ostringstream oss;
+    (oss << ... << args);
+    emit(lvl, oss.str());
+  }
+
+  void emit(LogLevel lvl, const std::string& message) const;
+
+  const Kernel* kernel_;
+  std::string component_;
+};
+
+std::string_view to_string(LogLevel lvl);
+
+}  // namespace sv::sim

@@ -1,0 +1,40 @@
+#include "sim/stats.hpp"
+
+#include <bit>
+#include <cmath>
+
+namespace sv::sim {
+
+void Histogram::sample(std::uint64_t v) {
+  acc_.sample(static_cast<double>(v));
+  const std::size_t bucket =
+      v <= 1 ? 0 : static_cast<std::size_t>(std::bit_width(v - 1));
+  if (bucket >= buckets_.size()) {
+    buckets_.resize(bucket + 1, 0);
+  }
+  ++buckets_[bucket];
+}
+
+std::uint64_t Histogram::percentile(double p) const {
+  if (acc_.count() == 0) {
+    return 0;
+  }
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(acc_.count())));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target) {
+      return i == 0 ? 1 : (std::uint64_t{1} << i);
+    }
+  }
+  return max();
+}
+
+void StatRegistry::dump(std::ostream& os) const {
+  for (const auto& [name, value] : values_) {
+    os << name << " = " << value << '\n';
+  }
+}
+
+}  // namespace sv::sim

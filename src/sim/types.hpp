@@ -1,0 +1,64 @@
+// Core time and identifier types for the StarT-Voyager simulator.
+//
+// The global time base is the Tick, defined as one picosecond. Picosecond
+// resolution lets the distinct clock domains of the modelled machine (166 MHz
+// application processor, 100 MHz service processor, 66 MHz memory bus, 80 MHz
+// Arctic link clock) interleave with exact integer periods and no rounding
+// drift over arbitrarily long runs.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace sv::sim {
+
+/// Simulated time in picoseconds.
+using Tick = std::uint64_t;
+
+/// A count of cycles in some clock domain (see Clock).
+using Cycles = std::uint64_t;
+
+inline constexpr Tick kTickInvalid = std::numeric_limits<Tick>::max();
+
+/// Convenience literals for expressing durations in code and configs.
+inline constexpr Tick kPicosecond = 1;
+inline constexpr Tick kNanosecond = 1000;
+inline constexpr Tick kMicrosecond = 1000 * kNanosecond;
+inline constexpr Tick kMillisecond = 1000 * kMicrosecond;
+
+/// A clock domain: converts between cycles and ticks. Periods are exact
+/// integer picosecond counts; the default machine configuration only uses
+/// frequencies whose periods divide evenly into picoseconds.
+class Clock {
+ public:
+  constexpr Clock() = default;
+  explicit constexpr Clock(Tick period_ps) : period_(period_ps) {}
+
+  [[nodiscard]] constexpr Tick period() const { return period_; }
+
+  [[nodiscard]] constexpr Tick to_ticks(Cycles c) const { return c * period_; }
+
+  /// Number of whole cycles that fit in `t` (rounds down).
+  [[nodiscard]] constexpr Cycles to_cycles(Tick t) const { return t / period_; }
+
+  /// Ticks until the next edge at or after absolute time `now`.
+  [[nodiscard]] constexpr Tick until_next_edge(Tick now) const {
+    const Tick rem = now % period_;
+    return rem == 0 ? 0 : period_ - rem;
+  }
+
+  /// Frequency in MHz (approximate, for reporting only).
+  [[nodiscard]] constexpr double mhz() const {
+    return period_ == 0 ? 0.0 : 1e6 / static_cast<double>(period_);
+  }
+
+ private:
+  Tick period_ = 1000;  // default: 1 GHz
+};
+
+/// Identifies a node (site) in the cluster.
+using NodeId = std::uint32_t;
+
+inline constexpr NodeId kNodeInvalid = std::numeric_limits<NodeId>::max();
+
+}  // namespace sv::sim

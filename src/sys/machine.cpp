@@ -1,0 +1,34 @@
+#include "sys/machine.hpp"
+
+namespace sv::sys {
+
+Machine::Machine(Params params) : params_(params) {
+  if (params_.net == NetKind::kFatTree) {
+    net::FatTreeNetwork::Params np;
+    np.nodes = params_.nodes;
+    np.radix = params_.radix;
+    np.link = params_.link;
+    network_ = std::make_unique<net::FatTreeNetwork>(kernel_, "net", np);
+  } else {
+    net::IdealNetwork::Params np;
+    np.nodes = params_.nodes;
+    np.latency = params_.ideal_latency;
+    network_ = std::make_unique<net::IdealNetwork>(kernel_, "net", np);
+  }
+
+  Node::Params node_params = params_.node;
+  node_params.num_nodes = params_.nodes;
+
+  nodes_.reserve(params_.nodes);
+  for (sim::NodeId i = 0; i < params_.nodes; ++i) {
+    nodes_.push_back(std::make_unique<Node>(
+        kernel_, "n" + std::to_string(i), i, *network_, node_params));
+  }
+  const msg::AddressMap map = addr_map();
+  for (auto& n : nodes_) {
+    n->setup(map);
+    n->start();
+  }
+}
+
+}  // namespace sv::sys

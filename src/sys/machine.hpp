@@ -1,0 +1,45 @@
+// The full StarT-Voyager machine: N nodes on the Arctic fat tree (or an
+// ideal network for unit tests / ablation).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "net/fat_tree.hpp"
+#include "net/network.hpp"
+#include "sys/node.hpp"
+
+namespace sv::sys {
+
+class Machine {
+ public:
+  enum class NetKind { kFatTree, kIdeal };
+
+  struct Params {
+    std::size_t nodes = 2;
+    NetKind net = NetKind::kFatTree;
+    unsigned radix = 4;
+    net::Link::Params link;
+    sim::Tick ideal_latency = 500 * sim::kNanosecond;
+    Node::Params node;  // template applied to every node
+  };
+
+  explicit Machine(Params params);
+
+  [[nodiscard]] sim::Kernel& kernel() { return kernel_; }
+  [[nodiscard]] net::Network& network() { return *network_; }
+  [[nodiscard]] Node& node(sim::NodeId i) { return *nodes_.at(i); }
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+  [[nodiscard]] msg::AddressMap addr_map() const {
+    return msg::AddressMap{nodes_.size()};
+  }
+  [[nodiscard]] const Params& params() const { return params_; }
+
+ private:
+  Params params_;
+  sim::Kernel kernel_;
+  std::unique_ptr<net::Network> network_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+}  // namespace sv::sys

@@ -1,0 +1,138 @@
+// One StarT-Voyager node (paper Figure 2): an unmodified PowerPC SMP —
+// 604e aP, in-line L2 cache, memory controller and DRAM on a 60x bus —
+// with the NIU in the second processor slot and the sP running firmware.
+#pragma once
+
+#include <memory>
+
+#include "cpu/processor.hpp"
+#include "fw/dma.hpp"
+#include "fw/miss_service.hpp"
+#include "fw/numa.hpp"
+#include "fw/reflective.hpp"
+#include "fw/scoma.hpp"
+#include "mem/bus.hpp"
+#include "mem/cache.hpp"
+#include "mem/dram.hpp"
+#include "msg/endpoint.hpp"
+#include "niu/niu.hpp"
+
+namespace sv::sys {
+
+class Node {
+ public:
+  struct Params {
+    std::size_t num_nodes = 2;
+    mem::Addr dram_size = niu::kApDramDefaultSize;
+    mem::Addr scoma_size = niu::kScomaDefaultSize;
+    mem::Addr numa_backing_size = 64ull * 1024 * 1024;
+
+    mem::MemBus::Params bus;
+    mem::SnoopingCache::Params cache;
+    cpu::Processor::Params ap;       // 166 MHz
+    cpu::Processor::Params sp;       // 100 MHz
+    niu::Niu::Params niu;
+
+    fw::FwService::Costs fw_costs;
+    fw::FwQueueMap fw_queues;
+    std::uint32_t scoma_page_bytes = 4096;
+
+    bool enable_dma = true;
+    bool enable_numa = true;
+    bool enable_scoma = true;
+    bool enable_miss_service = true;
+    bool enable_chunk_opener = true;
+
+    Params() { sp.clock = sim::Clock{10000}; }
+  };
+
+  // --- Standard queue plan (user side; firmware queues in fw::FwQueueMap) --
+  // Hardware tx queues:
+  static constexpr unsigned kTxUser0 = 0;    // basic, translated
+  static constexpr unsigned kTxExpress = 1;  // express, translated
+  static constexpr unsigned kTxUser1 = 2;    // basic, translated
+  static constexpr unsigned kTxRaw = 3;      // basic, raw allowed (trusted)
+  // Hardware rx queues:
+  static constexpr unsigned kRxUser0 = 0;    // logical AddressMap::kUser0L
+  static constexpr unsigned kRxExpress = 1;  // logical AddressMap::kExpressL
+  static constexpr unsigned kRxUser1 = 2;    // logical AddressMap::kUser1L
+
+  // aSRAM layout (bank-relative offsets).
+  static constexpr std::uint32_t kTx0Base = 0x0100;
+  static constexpr std::uint32_t kExTxBase = 0x1900;
+  static constexpr std::uint32_t kRx0Base = 0x2000;
+  static constexpr std::uint32_t kExRxBase = 0x3800;
+  static constexpr std::uint32_t kTx1Base = 0x4000;
+  static constexpr std::uint32_t kRx1Base = 0x5800;
+  static constexpr std::uint32_t kTxRawBase = 0x7000;
+  static constexpr std::uint32_t kStagingBase = 0x8000;
+  static constexpr std::uint16_t kUserSlots = 64;
+  static constexpr std::uint16_t kExpressSlots = 128;
+
+  // sSRAM layout.
+  static constexpr std::uint32_t kXlatBase = 0x0000;
+  static constexpr std::uint32_t kFwQueueBase = 0x1000;
+  static constexpr std::uint32_t kFwQueueStride = 0x1800;  // 64 x 96
+  static constexpr std::uint16_t kFwSlots = 64;
+  static constexpr std::uint32_t kDmaStagingBase = 0x20000;
+
+  Node(sim::Kernel& kernel, const std::string& name, sim::NodeId id,
+       net::Network& network, Params params);
+
+  /// Configure queues, the translation table, firmware bindings ("OS
+  /// boot"). Call once before start().
+  void setup(const msg::AddressMap& map);
+
+  /// Spawn NIU and firmware processes.
+  void start();
+
+  [[nodiscard]] sim::NodeId id() const { return id_; }
+  [[nodiscard]] mem::MemBus& bus() { return *bus_; }
+  [[nodiscard]] mem::DramCtrl& dram() { return *dram_; }
+  [[nodiscard]] mem::SnoopingCache& cache() { return *cache_; }
+  [[nodiscard]] cpu::Processor& ap() { return *ap_; }
+  [[nodiscard]] cpu::Processor& sp() { return *sp_; }
+  [[nodiscard]] niu::Niu& niu() { return *niu_; }
+  [[nodiscard]] fw::DmaEngine* dma() { return dma_.get(); }
+  [[nodiscard]] fw::NumaEngine* numa() { return numa_.get(); }
+  [[nodiscard]] fw::ScomaEngine* scoma() { return scoma_.get(); }
+  [[nodiscard]] fw::MissService* miss_service() { return miss_.get(); }
+  [[nodiscard]] fw::ChunkOpener* chunk_opener() { return chunk_.get(); }
+  [[nodiscard]] const Params& params() const { return params_; }
+
+  /// Library configuration for a user endpoint on this node.
+  [[nodiscard]] msg::Endpoint::Config endpoint_config();
+  [[nodiscard]] msg::Endpoint make_endpoint() {
+    return msg::Endpoint(*ap_, endpoint_config());
+  }
+
+  /// A second, fully independent endpoint over the user1 queue pair (no
+  /// express/raw queues): the multitasking story — two jobs sharing one
+  /// NIU through protected queues.
+  [[nodiscard]] msg::Endpoint::Config endpoint1_config();
+  [[nodiscard]] msg::Endpoint make_endpoint1() {
+    return msg::Endpoint(*ap_, endpoint1_config());
+  }
+
+ private:
+  void setup_tx_queues();
+  void setup_rx_queues();
+  void write_translation_table(const msg::AddressMap& map);
+
+  sim::NodeId id_;
+  Params params_;
+  std::unique_ptr<mem::MemBus> bus_;
+  std::unique_ptr<mem::DramCtrl> dram_;
+  std::unique_ptr<mem::SnoopingCache> cache_;
+  std::unique_ptr<cpu::Processor> ap_;
+  std::unique_ptr<cpu::Processor> sp_;
+  std::unique_ptr<niu::Niu> niu_;
+  std::unique_ptr<fw::DmaEngine> dma_;
+  std::unique_ptr<fw::NumaEngine> numa_;
+  std::unique_ptr<fw::ScomaEngine> scoma_;
+  std::unique_ptr<fw::MissService> miss_;
+  std::unique_ptr<fw::ChunkOpener> chunk_;
+  bool setup_done_ = false;
+};
+
+}  // namespace sv::sys

@@ -1,0 +1,20 @@
+// Aggregate every component's counters into one registry and print it —
+// the "system workload level" observability the paper argues a real
+// platform enables (section 7).
+#pragma once
+
+#include <ostream>
+
+#include "sim/stats.hpp"
+#include "sys/machine.hpp"
+
+namespace sv::sys {
+
+/// Collect all counters of `machine` into a registry, keyed
+/// "n<i>.<unit>.<metric>" plus machine-wide "net.*" entries.
+[[nodiscard]] sim::StatRegistry collect_stats(Machine& machine);
+
+/// collect_stats + formatted print.
+void dump_stats(Machine& machine, std::ostream& os);
+
+}  // namespace sv::sys

@@ -1,0 +1,265 @@
+// Snooping-cache tests: MESI transitions, writebacks, upgrades, snoop
+// pushes, intervention, and two-cache coherence on one bus.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+
+#include "mem/bus.hpp"
+#include "mem/cache.hpp"
+#include "mem/dram.hpp"
+#include "sim/random.hpp"
+#include "tests/test_util.hpp"
+
+namespace sv::mem {
+namespace {
+
+class CacheTest : public ::testing::Test {
+ protected:
+  CacheTest() {
+    DramCtrl::Params dp;
+    dp.ranges.push_back({0x0, 1 << 20});
+    dram = std::make_unique<DramCtrl>(kernel, "dram", dp);
+    bus.attach(dram.get());
+    SnoopingCache::Params cp;
+    cp.size_bytes = 4096;  // small: easy to force evictions
+    cp.ways = 2;
+    c0 = std::make_unique<SnoopingCache>(kernel, "c0", bus, cp);
+    c1 = std::make_unique<SnoopingCache>(kernel, "c1", bus, cp);
+  }
+
+  void run(sim::Co<void> co) { test::run_co(kernel, std::move(co)); }
+
+  sim::Kernel kernel;
+  MemBus bus{kernel, "bus", {}};
+  std::unique_ptr<DramCtrl> dram;
+  std::unique_ptr<SnoopingCache> c0, c1;
+};
+
+TEST_F(CacheTest, ReadMissFillsExclusive) {
+  dram->store().write_scalar<std::uint32_t>(0x100, 0xABCD1234);
+  std::uint32_t v = 0;
+  run([](SnoopingCache* c, std::uint32_t* out) -> sim::Co<void> {
+    std::byte buf[4];
+    co_await c->read(0x100, buf);
+    std::memcpy(out, buf, 4);
+  }(c0.get(), &v));
+  EXPECT_EQ(v, 0xABCD1234u);
+  EXPECT_EQ(c0->probe(0x100), MesiState::kExclusive);
+  EXPECT_EQ(c0->stats().read_misses.value(), 1u);
+}
+
+TEST_F(CacheTest, SecondReadHits) {
+  run([](SnoopingCache* c) -> sim::Co<void> {
+    std::byte buf[4];
+    co_await c->read(0x100, buf);
+    co_await c->read(0x104, buf);  // same line
+  }(c0.get()));
+  EXPECT_EQ(c0->stats().read_misses.value(), 1u);
+  EXPECT_EQ(c0->stats().read_hits.value(), 1u);
+}
+
+TEST_F(CacheTest, WriteMissFillsModified) {
+  run([](SnoopingCache* c) -> sim::Co<void> {
+    const std::uint32_t v = 42;
+    co_await c->write(0x200, std::as_bytes(std::span(&v, 1)));
+  }(c0.get()));
+  EXPECT_EQ(c0->probe(0x200), MesiState::kModified);
+  // DRAM not yet updated (write-back).
+  EXPECT_EQ(dram->store().read_scalar<std::uint32_t>(0x200), 0u);
+}
+
+TEST_F(CacheTest, SharedOnSecondReader) {
+  run([](SnoopingCache* a, SnoopingCache* b) -> sim::Co<void> {
+    std::byte buf[4];
+    co_await a->read(0x300, buf);
+    co_await b->read(0x300, buf);
+  }(c0.get(), c1.get()));
+  EXPECT_EQ(c0->probe(0x300), MesiState::kShared);
+  EXPECT_EQ(c1->probe(0x300), MesiState::kShared);
+}
+
+TEST_F(CacheTest, InterventionSuppliesDirtyDataAndReflects) {
+  run([](SnoopingCache* a, SnoopingCache* b,
+         DramCtrl* d) -> sim::Co<void> {
+    const std::uint32_t v = 0xFEEDFACE;
+    co_await a->write(0x400, std::as_bytes(std::span(&v, 1)));
+    std::byte buf[4];
+    co_await b->read(0x400, buf);
+    std::uint32_t got = 0;
+    std::memcpy(&got, buf, 4);
+    EXPECT_EQ(got, 0xFEEDFACEu);
+    // Dirty data was reflected into DRAM during the intervention.
+    EXPECT_EQ(d->store().read_scalar<std::uint32_t>(0x400), 0xFEEDFACEu);
+  }(c0.get(), c1.get(), dram.get()));
+  EXPECT_EQ(c0->probe(0x400), MesiState::kShared);
+  EXPECT_EQ(c1->probe(0x400), MesiState::kShared);
+  EXPECT_EQ(c0->stats().snoop_interventions.value(), 1u);
+}
+
+TEST_F(CacheTest, UpgradeKillsOtherSharers) {
+  run([](SnoopingCache* a, SnoopingCache* b) -> sim::Co<void> {
+    std::byte buf[4];
+    co_await a->read(0x500, buf);
+    co_await b->read(0x500, buf);
+    const std::uint32_t v = 7;
+    co_await a->write(0x500, std::as_bytes(std::span(&v, 1)));
+  }(c0.get(), c1.get()));
+  EXPECT_EQ(c0->probe(0x500), MesiState::kModified);
+  EXPECT_EQ(c1->probe(0x500), MesiState::kInvalid);
+  EXPECT_EQ(c0->stats().upgrades.value(), 1u);
+  EXPECT_EQ(c1->stats().snoop_invalidates.value(), 1u);
+}
+
+TEST_F(CacheTest, RwitmInvalidatesOtherCopy) {
+  run([](SnoopingCache* a, SnoopingCache* b) -> sim::Co<void> {
+    std::byte buf[4];
+    co_await a->read(0x600, buf);
+    const std::uint32_t v = 9;
+    co_await b->write(0x600, std::as_bytes(std::span(&v, 1)));
+  }(c0.get(), c1.get()));
+  EXPECT_EQ(c0->probe(0x600), MesiState::kInvalid);
+  EXPECT_EQ(c1->probe(0x600), MesiState::kModified);
+}
+
+TEST_F(CacheTest, DirtyEvictionWritesBack) {
+  // 4 KB, 2-way, 32 B lines: 64 sets; addresses 0x0 and 0x800*k map to the
+  // same set every 64 lines (stride 64*32 = 0x800).
+  run([](SnoopingCache* c, DramCtrl* d) -> sim::Co<void> {
+    const std::uint32_t v = 0x11111111;
+    co_await c->write(0x0, std::as_bytes(std::span(&v, 1)));
+    std::byte buf[4];
+    co_await c->read(0x800, buf);
+    co_await c->read(0x1000, buf);  // evicts the dirty line at 0x0
+    EXPECT_EQ(d->store().read_scalar<std::uint32_t>(0x0), 0x11111111u);
+  }(c0.get(), dram.get()));
+  EXPECT_EQ(c0->probe(0x0), MesiState::kInvalid);
+  EXPECT_GE(c0->stats().writebacks.value(), 1u);
+}
+
+TEST_F(CacheTest, FlushLineWritesBackAndInvalidates) {
+  run([](SnoopingCache* c, DramCtrl* d) -> sim::Co<void> {
+    const std::uint32_t v = 0x22222222;
+    co_await c->write(0x700, std::as_bytes(std::span(&v, 1)));
+    co_await c->flush_line(0x700);
+    EXPECT_EQ(d->store().read_scalar<std::uint32_t>(0x700), 0x22222222u);
+  }(c0.get(), dram.get()));
+  EXPECT_EQ(c0->probe(0x700), MesiState::kInvalid);
+}
+
+TEST_F(CacheTest, FlushBroadcastReachesRemoteOwner) {
+  // c0 flushes a line it does not hold; c1 holds it modified.
+  run([](SnoopingCache* a, SnoopingCache* b, DramCtrl* d) -> sim::Co<void> {
+    const std::uint32_t v = 0x33333333;
+    co_await b->write(0x900, std::as_bytes(std::span(&v, 1)));
+    co_await a->flush_line(0x900);
+    EXPECT_EQ(d->store().read_scalar<std::uint32_t>(0x900), 0x33333333u);
+  }(c0.get(), c1.get(), dram.get()));
+  EXPECT_EQ(c1->probe(0x900), MesiState::kInvalid);
+}
+
+TEST_F(CacheTest, SnoopPushOnForeignWriteToDirtyLine) {
+  // A non-cache master (simulated by raw bus ops) writes a line c0 holds
+  // modified: c0 must push the line back and the writer must win.
+  struct RawMaster : BusDevice {
+    std::string_view device_name() const override { return "raw"; }
+    SnoopResult bus_snoop(const BusRequest&) override { return {}; }
+  } master;
+  const int mid = bus.attach(&master);
+
+  run([](SnoopingCache* c) -> sim::Co<void> {
+    const std::uint32_t v = 0x44444444;
+    co_await c->write(0xA00, std::as_bytes(std::span(&v, 1)));
+  }(c0.get()));
+
+  auto data = test::pattern_bytes(kLineBytes);
+  run([](MemBus* b, int id, const std::vector<std::byte>* d) -> sim::Co<void> {
+    BusRequest req;
+    req.op = BusOp::kWriteLine;
+    req.addr = 0xA00;
+    req.size = kLineBytes;
+    req.wdata = d->data();
+    co_await b->transact_retry(id, req);
+  }(&bus, mid, &data));
+
+  EXPECT_EQ(c0->probe(0xA00), MesiState::kInvalid);
+  EXPECT_GE(c0->stats().snoop_pushes.value(), 1u);
+  std::vector<std::byte> got(kLineBytes);
+  dram->store().read(0xA00, got);
+  EXPECT_EQ(got, data);
+}
+
+TEST_F(CacheTest, UnalignedAccessSpansLines) {
+  auto data = test::pattern_bytes(64);
+  run([](SnoopingCache* c, const std::vector<std::byte>* d) -> sim::Co<void> {
+    co_await c->write(0xB10, *d);  // crosses two line boundaries
+    std::vector<std::byte> got(64);
+    co_await c->read(0xB10, got);
+    EXPECT_EQ(got, *d);
+  }(c0.get(), &data));
+}
+
+TEST_F(CacheTest, InvalidateDiscardsWithoutWriteback) {
+  run([](SnoopingCache* c, DramCtrl* d) -> sim::Co<void> {
+    const std::uint32_t v = 0x55555555;
+    co_await c->write(0xC00, std::as_bytes(std::span(&v, 1)));
+    co_await c->invalidate_line(0xC00);
+    // Discarded: memory never saw the store.
+    EXPECT_EQ(d->store().read_scalar<std::uint32_t>(0xC00), 0u);
+  }(c0.get(), dram.get()));
+  EXPECT_EQ(c0->probe(0xC00), MesiState::kInvalid);
+}
+
+/// Property test: random accesses through two caches always read back what
+/// the most recent write (through either cache) stored.
+class CacheCoherenceProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(CacheCoherenceProperty, RandomTrafficStaysCoherent) {
+  sim::Kernel kernel;
+  MemBus bus(kernel, "bus", {});
+  DramCtrl::Params dp;
+  dp.ranges.push_back({0x0, 1 << 16});
+  DramCtrl dram(kernel, "dram", dp);
+  bus.attach(&dram);
+  SnoopingCache::Params cp;
+  cp.size_bytes = 2048;
+  cp.ways = 2;
+  SnoopingCache c0(kernel, "c0", bus, cp);
+  SnoopingCache c1(kernel, "c1", bus, cp);
+
+  sim::Rng rng(GetParam());
+  // Reference model: plain byte array.
+  std::vector<std::uint8_t> ref(4096, 0);
+
+  test::run_co(
+      kernel,
+      [](sim::Rng* rng, SnoopingCache* a, SnoopingCache* b,
+         std::vector<std::uint8_t>* ref) -> sim::Co<void> {
+        for (int i = 0; i < 300; ++i) {
+          SnoopingCache* c = rng->chance(0.5) ? a : b;
+          const Addr addr = rng->below(4096 - 8);
+          if (rng->chance(0.5)) {
+            std::uint8_t val[4];
+            for (auto& x : val) {
+              x = static_cast<std::uint8_t>(rng->below(256));
+            }
+            co_await c->write(addr, std::as_bytes(std::span(val)));
+            std::memcpy(ref->data() + addr, val, 4);
+          } else {
+            std::byte got[4];
+            co_await c->read(addr, got);
+            for (int j = 0; j < 4; ++j) {
+              EXPECT_EQ(static_cast<std::uint8_t>(got[j]), (*ref)[addr + j])
+                  << "mismatch at addr " << addr + j << " iter " << i;
+            }
+          }
+        }
+      }(&rng, &c0, &c1, &ref),
+      sim::kMillisecond * 1000);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CacheCoherenceProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 11, 23, 47));
+
+}  // namespace
+}  // namespace sv::mem

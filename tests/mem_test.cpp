@@ -1,0 +1,376 @@
+// Unit tests for the memory substrate: backing store, the split-transaction
+// snooping bus, DRAM, SRAM banks and clsSRAM.
+#include <gtest/gtest.h>
+
+#include "mem/backing_store.hpp"
+#include "mem/bus.hpp"
+#include "mem/cls_sram.hpp"
+#include "mem/dram.hpp"
+#include "mem/sram.hpp"
+#include "sim/coro.hpp"
+#include "tests/test_util.hpp"
+
+namespace sv::mem {
+namespace {
+
+TEST(BackingStore, ZeroFillAndRoundTrip) {
+  BackingStore s;
+  EXPECT_EQ(s.read_scalar<std::uint64_t>(0x1234), 0u);
+  s.write_scalar<std::uint32_t>(0x1000, 0xDEADBEEF);
+  EXPECT_EQ(s.read_scalar<std::uint32_t>(0x1000), 0xDEADBEEFu);
+  EXPECT_EQ(s.allocated_pages(), 1u);
+}
+
+TEST(BackingStore, CrossPageAccess) {
+  BackingStore s;
+  auto data = test::pattern_bytes(100);
+  const Addr addr = BackingStore::kPageBytes - 50;
+  s.write(addr, data);
+  std::vector<std::byte> got(100);
+  s.read(addr, got);
+  EXPECT_EQ(got, data);
+  EXPECT_EQ(s.allocated_pages(), 2u);
+}
+
+TEST(BackingStore, FillRange) {
+  BackingStore s;
+  s.fill(10, 20, std::byte{0xAB});
+  EXPECT_EQ(s.read_scalar<std::uint8_t>(10), 0xAB);
+  EXPECT_EQ(s.read_scalar<std::uint8_t>(29), 0xAB);
+  EXPECT_EQ(s.read_scalar<std::uint8_t>(30), 0x00);
+}
+
+/// A scriptable bus device for protocol tests.
+class FakeDevice : public BusDevice {
+ public:
+  explicit FakeDevice(std::string name) : name_(std::move(name)) {}
+
+  std::string_view device_name() const override { return name_; }
+  SnoopResult bus_snoop(const BusRequest& req) override {
+    last_snooped = req;
+    ++snoops;
+    return next_snoop;
+  }
+  void bus_read_data(const BusRequest&, std::span<std::byte> out) override {
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      out[i] = static_cast<std::byte>(0xC0 + i);
+    }
+    ++reads;
+  }
+  void bus_write_data(const BusRequest&,
+                      std::span<const std::byte> in) override {
+    captured.assign(in.begin(), in.end());
+    ++writes;
+  }
+  void bus_observe(const BusRequest& req, const BusResult&) override {
+    observed.push_back(req.op);
+  }
+
+  std::string name_;
+  SnoopResult next_snoop;
+  BusRequest last_snooped{};
+  std::vector<std::byte> captured;
+  std::vector<BusOp> observed;
+  int snoops = 0, reads = 0, writes = 0;
+};
+
+class BusTest : public ::testing::Test {
+ protected:
+  sim::Kernel kernel;
+  MemBus bus{kernel, "bus", {}};
+  FakeDevice mem{"mem"};
+  FakeDevice other{"other"};
+  FakeDevice master{"master"};
+  int mem_id = bus.attach(&mem);
+  int other_id = bus.attach(&other);
+  int master_id = bus.attach(&master);
+};
+
+TEST_F(BusTest, ReadCompletesWithResponderData) {
+  mem.next_snoop = {SnoopAction::kAccept, 2};
+  std::byte buf[8] = {};
+  BusRequest req;
+  req.op = BusOp::kReadSingle;
+  req.addr = 0x100;
+  req.size = 8;
+  req.rdata = buf;
+  BusResult res{};
+  test::run_co(kernel, [](MemBus* b, int id, BusRequest r,
+                          BusResult* out) -> sim::Co<void> {
+    *out = co_await b->transact(id, r);
+  }(&bus, master_id, req, &res));
+  EXPECT_FALSE(res.retried);
+  EXPECT_EQ(res.responder, mem_id);
+  EXPECT_EQ(buf[0], std::byte{0xC0});
+  EXPECT_EQ(mem.reads, 1);
+  // Non-requesters observed the completed transaction.
+  EXPECT_EQ(other.observed.size(), 1u);
+  EXPECT_EQ(bus.stats().transactions.value(), 1u);
+}
+
+TEST_F(BusTest, RetryAbortsBeforeDataPhase) {
+  mem.next_snoop = {SnoopAction::kAccept, 2};
+  other.next_snoop = {SnoopAction::kRetry, 0};
+  std::byte buf[8] = {};
+  BusRequest req;
+  req.op = BusOp::kReadSingle;
+  req.addr = 0x100;
+  req.size = 8;
+  req.rdata = buf;
+  BusResult res{};
+  test::run_co(kernel, [](MemBus* b, int id, BusRequest r,
+                          BusResult* out) -> sim::Co<void> {
+    *out = co_await b->transact(id, r);
+  }(&bus, master_id, req, &res));
+  EXPECT_TRUE(res.retried);
+  EXPECT_EQ(mem.reads, 0);
+  EXPECT_EQ(bus.stats().retries.value(), 1u);
+}
+
+TEST_F(BusTest, TransactRetryEventuallySucceeds) {
+  mem.next_snoop = {SnoopAction::kAccept, 2};
+  other.next_snoop = {SnoopAction::kRetry, 0};
+  // Stop retrying after the third snoop.
+  std::byte buf[8] = {};
+  BusRequest req;
+  req.op = BusOp::kReadSingle;
+  req.addr = 0x100;
+  req.size = 8;
+  req.rdata = buf;
+  BusResult res{};
+  kernel.schedule(1, [this] {});  // keep the queue warm
+  sim::spawn([](MemBus* b, int id, BusRequest r, BusResult* out,
+                FakeDevice* o) -> sim::Co<void> {
+    // After two retried attempts the retrying device relents.
+    (void)o;
+    *out = co_await b->transact_retry(id, r);
+  }(&bus, master_id, req, &res, &other));
+  // Let two retries happen, then clear.
+  kernel.run_until(kernel.now() + 200000);
+  other.next_snoop = {};
+  kernel.run();
+  EXPECT_FALSE(res.retried);
+  EXPECT_GE(bus.stats().retries.value(), 1u);
+  EXPECT_EQ(mem.reads, 1);
+}
+
+TEST_F(BusTest, InterventionSuppliesAndReflects) {
+  mem.next_snoop = {SnoopAction::kAccept, 6};
+  other.next_snoop = {SnoopAction::kModified, 3};
+  std::byte buf[kLineBytes] = {};
+  BusRequest req;
+  req.op = BusOp::kRead;
+  req.addr = 0x200;
+  req.size = kLineBytes;
+  req.rdata = buf;
+  BusResult res{};
+  test::run_co(kernel, [](MemBus* b, int id, BusRequest r,
+                          BusResult* out) -> sim::Co<void> {
+    *out = co_await b->transact(id, r);
+  }(&bus, master_id, req, &res));
+  EXPECT_TRUE(res.intervened);
+  EXPECT_TRUE(res.shared);
+  EXPECT_EQ(res.responder, other_id);
+  // Intervention data was reflected into the accepting device (memory).
+  EXPECT_EQ(mem.writes, 1);
+  EXPECT_EQ(mem.captured.size(), kLineBytes);
+  EXPECT_EQ(mem.captured[0], std::byte{0xC0});
+}
+
+TEST_F(BusTest, AddressOnlyKillHasNoDataPhase) {
+  BusRequest req;
+  req.op = BusOp::kKill;
+  req.addr = 0x300;
+  req.size = 0;
+  BusResult res{};
+  test::run_co(kernel, [](MemBus* b, int id, BusRequest r,
+                          BusResult* out) -> sim::Co<void> {
+    *out = co_await b->transact(id, r);
+  }(&bus, master_id, req, &res));
+  EXPECT_FALSE(res.retried);
+  EXPECT_EQ(mem.reads, 0);
+  EXPECT_EQ(mem.writes, 0);
+  EXPECT_EQ(bus.stats().address_only.value(), 1u);
+  // Kill was observed by snoopers.
+  ASSERT_EQ(other.observed.size(), 1u);
+  EXPECT_EQ(other.observed[0], BusOp::kKill);
+}
+
+TEST_F(BusTest, NoResponderIsReported) {
+  std::byte buf[8] = {};
+  BusRequest req;
+  req.op = BusOp::kReadSingle;
+  req.addr = 0x400;
+  req.size = 8;
+  req.rdata = buf;
+  BusResult res{};
+  test::run_co(kernel, [](MemBus* b, int id, BusRequest r,
+                          BusResult* out) -> sim::Co<void> {
+    *out = co_await b->transact(id, r);
+  }(&bus, master_id, req, &res));
+  EXPECT_TRUE(res.no_responder);
+}
+
+TEST_F(BusTest, WriteDataReachesResponder) {
+  mem.next_snoop = {SnoopAction::kAccept, 1};
+  auto data = test::pattern_bytes(kLineBytes);
+  BusRequest req;
+  req.op = BusOp::kWriteLine;
+  req.addr = 0x500;
+  req.size = kLineBytes;
+  req.wdata = data.data();
+  test::run_co(kernel, [](MemBus* b, int id, BusRequest r) -> sim::Co<void> {
+    co_await b->transact(id, r);
+  }(&bus, master_id, req));
+  EXPECT_EQ(mem.captured, data);
+}
+
+TEST_F(BusTest, DataTenuresSerializeOnDataBus) {
+  mem.next_snoop = {SnoopAction::kAccept, 0};
+  // Two line reads back to back: each needs 4 beats; with 2 address cycles
+  // each, total completion must reflect serialized data tenures.
+  std::byte b1[kLineBytes], b2[kLineBytes];
+  int done = 0;
+  for (std::byte* buf : {b1, b2}) {
+    BusRequest req;
+    req.op = BusOp::kRead;
+    req.addr = 0x600;
+    req.size = kLineBytes;
+    req.rdata = buf;
+    sim::spawn([](MemBus* b, int id, BusRequest r, int* d) -> sim::Co<void> {
+      co_await b->transact(id, r);
+      ++*d;
+    }(&bus, master_id, req, &done));
+  }
+  kernel.run();
+  EXPECT_EQ(done, 2);
+  EXPECT_EQ(bus.stats().data_beats.value(), 8u);
+  // 2 address cycles + 4 beats = 6 cycles minimum for the first; the second
+  // pipelines its address tenure but serializes data: >= 10 cycles total.
+  EXPECT_GE(kernel.now(), 10 * bus.clock().period());
+}
+
+TEST(DramTest, ClaimsOnlyItsRanges) {
+  sim::Kernel kernel;
+  DramCtrl::Params p;
+  p.ranges.push_back({0x0, 0x1000});
+  p.ranges.push_back({0x8000, 0x1000});
+  DramCtrl dram(kernel, "dram", p);
+  EXPECT_TRUE(dram.claims(0x0));
+  EXPECT_TRUE(dram.claims(0xFFF));
+  EXPECT_FALSE(dram.claims(0x1000));
+  EXPECT_TRUE(dram.claims(0x8000));
+  EXPECT_FALSE(dram.claims(0x9000));
+
+  BusRequest req;
+  req.op = BusOp::kRead;
+  req.addr = 0x100;
+  EXPECT_EQ(dram.bus_snoop(req).action, SnoopAction::kAccept);
+  req.addr = 0x2000;
+  EXPECT_EQ(dram.bus_snoop(req).action, SnoopAction::kIgnore);
+}
+
+TEST(DramTest, EndToEndReadWriteOverBus) {
+  sim::Kernel kernel;
+  MemBus bus(kernel, "bus", {});
+  DramCtrl::Params p;
+  p.ranges.push_back({0x0, 0x10000});
+  DramCtrl dram(kernel, "dram", p);
+  bus.attach(&dram);
+  FakeDevice master{"m"};
+  const int mid = bus.attach(&master);
+
+  auto data = test::pattern_bytes(kLineBytes);
+  BusRequest wr;
+  wr.op = BusOp::kWriteLine;
+  wr.addr = 0x40;
+  wr.size = kLineBytes;
+  wr.wdata = data.data();
+  std::byte buf[kLineBytes] = {};
+  BusRequest rd;
+  rd.op = BusOp::kRead;
+  rd.addr = 0x40;
+  rd.size = kLineBytes;
+  rd.rdata = buf;
+  test::run_co(kernel, [](MemBus* b, int id, BusRequest w,
+                          BusRequest r) -> sim::Co<void> {
+    co_await b->transact(id, w);
+    co_await b->transact(id, r);
+  }(&bus, mid, wr, rd));
+  EXPECT_EQ(std::vector<std::byte>(buf, buf + kLineBytes), data);
+  EXPECT_EQ(dram.reads().value(), 1u);
+  EXPECT_EQ(dram.writes().value(), 1u);
+}
+
+TEST(SramTest, PortsAreIndependentResources) {
+  sim::Kernel kernel;
+  DualPortedSram sram(kernel, "sram", {});
+  sim::Tick bus_done = 0, ibus_done = 0;
+  sim::spawn([](DualPortedSram* s, sim::Kernel* k,
+                sim::Tick* out) -> sim::Co<void> {
+    co_await s->access(DualPortedSram::Port::kBus, 64);
+    *out = k->now();
+  }(&sram, &kernel, &bus_done));
+  sim::spawn([](DualPortedSram* s, sim::Kernel* k,
+                sim::Tick* out) -> sim::Co<void> {
+    co_await s->access(DualPortedSram::Port::kIBus, 64);
+    *out = k->now();
+  }(&sram, &kernel, &ibus_done));
+  kernel.run();
+  // Both finish at the same time: dual porting means no cross-port wait.
+  EXPECT_EQ(bus_done, ibus_done);
+  EXPECT_GT(bus_done, 0u);
+}
+
+TEST(SramTest, SamePortSerializes) {
+  sim::Kernel kernel;
+  DualPortedSram sram(kernel, "sram", {});
+  sim::Tick first = 0, second = 0;
+  for (sim::Tick* out : {&first, &second}) {
+    sim::spawn([](DualPortedSram* s, sim::Kernel* k,
+                  sim::Tick* o) -> sim::Co<void> {
+      co_await s->access(DualPortedSram::Port::kBus, 64);
+      *o = k->now();
+    }(&sram, &kernel, out));
+  }
+  kernel.run();
+  EXPECT_EQ(second, 2 * first);
+}
+
+TEST(SramTest, BoundsChecked) {
+  sim::Kernel kernel;
+  DualPortedSram::Params p;
+  p.size = 1024;
+  DualPortedSram sram(kernel, "sram", p);
+  std::byte buf[8];
+  EXPECT_THROW(sram.read(1020, buf), std::out_of_range);
+  EXPECT_THROW(sram.write(1024, buf), std::out_of_range);
+  EXPECT_NO_THROW(sram.write(1016, buf));
+}
+
+TEST(ClsSramTest, StateRoundTripAndRange) {
+  sim::Kernel kernel;
+  ClsSram::Params p;
+  p.region_base = 0x8000'0000;
+  p.region_size = 64 * 1024;
+  ClsSram cls(kernel, "cls", p);
+
+  EXPECT_TRUE(cls.covers(0x8000'0000));
+  EXPECT_FALSE(cls.covers(0x8001'0000));
+  EXPECT_EQ(cls.peek(0x8000'0000), 0);
+
+  cls.poke(0x8000'0040, 3);
+  EXPECT_EQ(cls.peek(0x8000'0040), 3);
+  EXPECT_EQ(cls.peek(0x8000'005F), 3);  // same line
+  EXPECT_EQ(cls.peek(0x8000'0060), 0);  // next line
+
+  test::run_co(kernel, cls.write_state_range(0x8000'0100, 128, 2));
+  for (Addr a = 0x8000'0100; a < 0x8000'0180; a += kLineBytes) {
+    EXPECT_EQ(cls.peek(a), 2);
+  }
+  EXPECT_EQ(cls.peek(0x8000'0180), 0);
+  EXPECT_THROW((void)cls.peek(0x9000'0000), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace sv::mem

@@ -1,0 +1,250 @@
+// Robustness and failure-injection tests: malformed traffic, protection
+// fuzzing, queue-full stress, block-op bounds, and recovery paths. The
+// protection story of paper section 4 is that bad actors lose *their*
+// queue, never anyone else's.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "sim/random.hpp"
+#include "tests/test_util.hpp"
+#include "xfer/approaches.hpp"
+
+namespace sv {
+namespace {
+
+class RobustnessTest : public ::testing::Test {
+ protected:
+  RobustnessTest()
+      : machine(test::small_machine_params(2, sys::Machine::NetKind::kIdeal)) {
+  }
+
+  niu::Ctrl& ctrl(sim::NodeId n) { return machine.node(n).niu().ctrl(); }
+
+  void compose(sim::NodeId n, unsigned txq, const niu::MsgDescriptor& desc,
+               std::span<const std::byte> data) {
+    auto& c = ctrl(n);
+    auto& q = c.txq(txq);
+    auto& sram = machine.node(n).niu().asram();
+    const std::uint32_t slot = q.slot_addr(q.producer);
+    std::byte hdr[8];
+    desc.encode(hdr);
+    sram.write(slot, hdr);
+    if (!data.empty()) {
+      sram.write(slot + niu::kBasicHeaderBytes, data);
+    }
+    c.tx_producer_update(txq, static_cast<std::uint16_t>(q.producer + 1));
+  }
+
+  void drive_until(const std::function<bool()>& pred) {
+    test::drive(machine.kernel(), pred);
+  }
+
+  sys::Machine machine;
+};
+
+TEST_F(RobustnessTest, OversizedLengthFieldShutsQueueDown) {
+  niu::MsgDescriptor d;
+  d.vdest = machine.addr_map().user0(1);
+  d.length = 255;  // > kBasicMaxData
+  compose(0, sys::Node::kTxUser0, d, {});
+  drive_until([&] { return ctrl(0).txq(sys::Node::kTxUser0).shutdown; });
+  EXPECT_EQ(ctrl(0).stats().msgs_launched.value(), 0u);
+}
+
+TEST_F(RobustnessTest, OversizedTagOnShutsQueueDown) {
+  niu::MsgDescriptor d;
+  d.vdest = machine.addr_map().user0(1);
+  d.length = 40;
+  d.flags = niu::MsgDescriptor::kFlagTagOn |
+            niu::MsgDescriptor::kFlagTagOnLarge;  // 40 + 80 > 88
+  d.aux = sys::Node::kStagingBase;
+  compose(0, sys::Node::kTxUser0, d, test::pattern_bytes(40));
+  drive_until([&] { return ctrl(0).txq(sys::Node::kTxUser0).shutdown; });
+}
+
+TEST_F(RobustnessTest, RawToNonexistentNodeShutsQueueDown) {
+  niu::MsgDescriptor d;
+  d.vdest = 55;  // no such node
+  d.flags = niu::MsgDescriptor::kFlagRaw;
+  d.aux = msg::AddressMap::kUser0L;
+  compose(0, sys::Node::kTxRaw, d, {});
+  drive_until([&] { return ctrl(0).txq(sys::Node::kTxRaw).shutdown; });
+}
+
+TEST_F(RobustnessTest, ShutdownQueueDoesNotBlockOthers) {
+  // Kill the user0 queue, then verify user1 still delivers.
+  niu::MsgDescriptor bad;
+  bad.vdest = 0xEE;
+  compose(0, sys::Node::kTxUser0, bad, {});
+  drive_until([&] { return ctrl(0).txq(sys::Node::kTxUser0).shutdown; });
+
+  niu::MsgDescriptor good;
+  good.vdest = machine.addr_map().user1(1);
+  good.length = 8;
+  compose(0, sys::Node::kTxUser1, good, test::pattern_bytes(8));
+  drive_until(
+      [&] { return !ctrl(1).rxq(sys::Node::kRxUser1).empty(); });
+}
+
+TEST_F(RobustnessTest, MalformedRemoteCommandDoesNotKillTheNode) {
+  // Inject a garbage packet at the remote-command queue: CTRL must reject
+  // it without corrupting anything, and normal traffic must still flow.
+  net::Packet junk;
+  junk.src = 0;
+  junk.dest = 1;
+  junk.dest_queue = net::kRemoteCmdQueue;
+  junk.payload = test::pattern_bytes(7);  // shorter than the header
+  bool threw = false;
+  sim::spawn([](sys::Machine* m, net::Packet p, bool* t) -> sim::Co<void> {
+    try {
+      co_await m->node(0).niu().ctrl().inject(std::move(p));
+    } catch (const std::exception&) {
+      *t = true;
+    }
+  }(&machine, junk, &threw));
+  // The malformed payload is detected at decode on the receive side; the
+  // expected contract today is an exception surfaced by the decode (the
+  // RxU catches-or-dies is part of this test: the machine must survive).
+  machine.kernel().run_until(machine.kernel().now() +
+                             10 * sim::kMicrosecond);
+
+  niu::MsgDescriptor good;
+  good.vdest = machine.addr_map().user0(1);
+  good.length = 4;
+  compose(0, sys::Node::kTxUser0, good, test::pattern_bytes(4));
+  drive_until([&] { return !ctrl(1).rxq(sys::Node::kRxUser0).empty(); });
+}
+
+TEST_F(RobustnessTest, BlockOpBoundsAreEnforced) {
+  auto& c = ctrl(0);
+  bool threw = false;
+
+  // Page-crossing block read must be rejected.
+  sim::spawn([](niu::Ctrl* ctrl_, bool* t) -> sim::Co<void> {
+    niu::Command cmd;
+    cmd.op = niu::CmdOp::kBlockRead;
+    cmd.addr = 0x4000 - 64;
+    cmd.len = 256;  // crosses the page at 0x4000
+    cmd.bank = niu::SramBank::kASram;
+    cmd.sram_offset = 0xA000;
+    try {
+      co_await ctrl_->exec_immediate(std::move(cmd));
+    } catch (const std::invalid_argument&) {
+      *t = true;
+    }
+  }(&c, &threw));
+  machine.kernel().run_until(machine.kernel().now() +
+                             10 * sim::kMicrosecond);
+  EXPECT_TRUE(threw);
+
+  // Unaligned block op must be rejected.
+  threw = false;
+  sim::spawn([](niu::Ctrl* ctrl_, bool* t) -> sim::Co<void> {
+    niu::Command cmd;
+    cmd.op = niu::CmdOp::kBlockRead;
+    cmd.addr = 0x4010;  // not line-aligned
+    cmd.len = 64;
+    try {
+      co_await ctrl_->exec_immediate(std::move(cmd));
+    } catch (const std::invalid_argument&) {
+      *t = true;
+    }
+  }(&c, &threw));
+  machine.kernel().run_until(machine.kernel().now() +
+                             10 * sim::kMicrosecond);
+  EXPECT_TRUE(threw);
+}
+
+TEST_F(RobustnessTest, DropPolicyUnderSustainedOverload) {
+  auto& rq = ctrl(1).rxq(sys::Node::kRxUser1);
+  rq.full_policy = niu::RxFullPolicy::kDrop;
+  rq.slots = 4;
+
+  const auto map = machine.addr_map();
+  for (int i = 0; i < 32; ++i) {
+    niu::MsgDescriptor d;
+    d.vdest = map.user1(1);
+    d.length = 8;
+    compose(0, sys::Node::kTxUser0, d, test::pattern_bytes(8));
+    // Stay within the sender queue's capacity.
+    if (i % 16 == 15) {
+      drive_until(
+          [&] { return ctrl(0).txq(sys::Node::kTxUser0).empty(); });
+    }
+  }
+  drive_until([&] { return ctrl(0).txq(sys::Node::kTxUser0).empty(); });
+  drive_until([&] { return ctrl(1).stats().rx_dropped.value() >= 20; });
+  // The queue holds exactly its capacity; the machine is still healthy.
+  EXPECT_EQ(rq.occupancy(), 4);
+  ctrl(1).rx_consumer_update(sys::Node::kRxUser1,
+                             static_cast<std::uint16_t>(rq.consumer + 4));
+  EXPECT_TRUE(rq.empty());
+}
+
+/// Protection fuzz: a queue fed random descriptors either delivers valid
+/// messages or gets shut down — and an innocent queue on the same node is
+/// never disturbed.
+class ProtectionFuzz : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ProtectionFuzz, RandomDescriptorsNeverHurtInnocentQueue) {
+  sys::Machine machine(
+      test::small_machine_params(2, sys::Machine::NetKind::kIdeal));
+  auto& ctrl0 = machine.node(0).niu().ctrl();
+  auto& asram = machine.node(0).niu().asram();
+  sim::Rng rng(GetParam());
+
+  unsigned innocent_sent = 0;
+  for (int round = 0; round < 40; ++round) {
+    // Fuzz the user0 queue with a random descriptor.
+    auto& q = ctrl0.txq(sys::Node::kTxUser0);
+    if (!q.shutdown && !q.full()) {
+      niu::MsgDescriptor d;
+      d.vdest = static_cast<std::uint16_t>(rng.below(0x200));
+      d.length = static_cast<std::uint8_t>(rng.below(256));
+      d.flags = static_cast<std::uint8_t>(rng.below(256));
+      d.aux = static_cast<std::uint32_t>(rng.next());
+      std::byte hdr[8];
+      d.encode(hdr);
+      asram.write(q.slot_addr(q.producer), hdr);
+      ctrl0.tx_producer_update(
+          sys::Node::kTxUser0,
+          static_cast<std::uint16_t>(q.producer + 1));
+    }
+
+    // The innocent user1 queue keeps sending real messages.
+    auto& iq = ctrl0.txq(sys::Node::kTxUser1);
+    if (!iq.full()) {
+      niu::MsgDescriptor d;
+      d.vdest = machine.addr_map().user1(1);
+      d.length = 4;
+      std::byte hdr[8];
+      d.encode(hdr);
+      asram.write(iq.slot_addr(iq.producer), hdr);
+      ctrl0.tx_producer_update(
+          sys::Node::kTxUser1,
+          static_cast<std::uint16_t>(iq.producer + 1));
+      ++innocent_sent;
+    }
+    machine.kernel().run_until(machine.kernel().now() +
+                               20 * sim::kMicrosecond);
+    // Drain the receiver so the innocent queue never backs up.
+    auto& rx = machine.node(1).niu().ctrl().rxq(sys::Node::kRxUser1);
+    machine.node(1).niu().ctrl().rx_consumer_update(sys::Node::kRxUser1,
+                                                    rx.producer);
+  }
+
+  machine.kernel().run_until(machine.kernel().now() +
+                             200 * sim::kMicrosecond);
+  // The innocent queue was never shut down and delivered everything.
+  EXPECT_FALSE(ctrl0.txq(sys::Node::kTxUser1).shutdown);
+  EXPECT_TRUE(ctrl0.txq(sys::Node::kTxUser1).empty());
+  const auto& rx1 = machine.node(1).niu().ctrl().rxq(sys::Node::kRxUser1);
+  EXPECT_EQ(static_cast<unsigned>(rx1.producer), innocent_sent);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProtectionFuzz,
+                         ::testing::Values(3, 13, 23, 33, 43));
+
+}  // namespace
+}  // namespace sv

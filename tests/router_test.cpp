@@ -1,0 +1,142 @@
+// Direct Router-class tests (the fat-tree tests exercise routers only
+// end-to-end): routing dispatch, round-robin fairness among inputs, and
+// output isolation when one port is blocked.
+#include <gtest/gtest.h>
+
+#include "net/link.hpp"
+#include "net/router.hpp"
+#include "tests/test_util.hpp"
+
+namespace sv::net {
+namespace {
+
+Packet make_packet(sim::NodeId dest, std::size_t bytes,
+                   std::uint8_t prio = kPriorityLow) {
+  Packet p;
+  p.dest = dest;
+  p.priority = prio;
+  p.payload.resize(bytes);
+  return p;
+}
+
+struct RouterRig {
+  explicit RouterRig(unsigned inputs = 4, unsigned outputs = 2) {
+    Router::Params rp;
+    rp.num_inputs = inputs;
+    rp.num_outputs = outputs;
+    // Route by destination id: dest selects the output port directly.
+    router = std::make_unique<Router>(
+        kernel, "r", rp, [](const Packet& p) { return p.dest; });
+    for (unsigned o = 0; o < outputs; ++o) {
+      links.push_back(std::make_unique<Link>(kernel, "l", Link::Params{}));
+      const unsigned out = o;
+      links.back()->set_sink([this, out](Packet&& p) {
+        delivered[out].push_back(std::move(p));
+        links[out]->return_credit(delivered[out].back().priority);
+      });
+      router->connect_output(o, links.back().get());
+      delivered.emplace_back();
+    }
+    router->start();
+  }
+
+  sim::Kernel kernel;
+  std::unique_ptr<Router> router;
+  std::vector<std::unique_ptr<Link>> links;
+  std::vector<std::vector<Packet>> delivered;
+};
+
+TEST(RouterTest, RoutesToCorrectOutput) {
+  RouterRig rig;
+  rig.router->receive(0, make_packet(0, 8));
+  rig.router->receive(1, make_packet(1, 8));
+  rig.router->receive(2, make_packet(1, 8));
+  rig.kernel.run();
+  EXPECT_EQ(rig.delivered[0].size(), 1u);
+  EXPECT_EQ(rig.delivered[1].size(), 2u);
+  EXPECT_EQ(rig.router->packets_routed().value(), 3u);
+}
+
+TEST(RouterTest, RoundRobinIsFairAcrossInputs) {
+  RouterRig rig;
+  // Four inputs each queue 8 packets for output 0; deliveries must
+  // interleave (no input finishes before another has started).
+  for (unsigned in = 0; in < 4; ++in) {
+    for (int i = 0; i < 8; ++i) {
+      Packet p = make_packet(0, 8);
+      p.src = in;
+      rig.router->receive(in, std::move(p));
+    }
+  }
+  rig.kernel.run();
+  ASSERT_EQ(rig.delivered[0].size(), 32u);
+  // In the first 4 deliveries every input appears exactly once.
+  std::set<sim::NodeId> first_four;
+  for (int i = 0; i < 4; ++i) {
+    first_four.insert(rig.delivered[0][i].src);
+  }
+  EXPECT_EQ(first_four.size(), 4u);
+}
+
+TEST(RouterTest, HighPriorityServedStrictlyFirst) {
+  RouterRig rig;
+  for (int i = 0; i < 6; ++i) {
+    rig.router->receive(0, make_packet(0, 8, kPriorityLow));
+  }
+  rig.router->receive(1, make_packet(0, 8, kPriorityHigh));
+  rig.router->receive(2, make_packet(0, 8, kPriorityHigh));
+  rig.kernel.run();
+  ASSERT_EQ(rig.delivered[0].size(), 8u);
+  // Both high-priority packets leave before all low ones are done. (The
+  // first low packet may already occupy the wire.)
+  int high_seen = 0;
+  for (int i = 0; i < 4; ++i) {
+    if (rig.delivered[0][i].priority == kPriorityHigh) {
+      ++high_seen;
+    }
+  }
+  EXPECT_EQ(high_seen, 2);
+}
+
+TEST(RouterTest, BlockedOutputDoesNotStallOtherOutputs) {
+  RouterRig rig;
+  // Exhaust output 0's credits by never returning them.
+  rig.links[0]->set_sink([&](Packet&& p) {
+    rig.delivered[0].push_back(std::move(p));  // no credit return
+  });
+  for (int i = 0; i < 6; ++i) {
+    rig.router->receive(0, make_packet(0, 8));
+  }
+  for (int i = 0; i < 6; ++i) {
+    rig.router->receive(1, make_packet(1, 8));
+  }
+  rig.kernel.run();
+  // Output 0 wedges after its credits run out; output 1 drains fully.
+  EXPECT_LT(rig.delivered[0].size(), 6u);
+  EXPECT_EQ(rig.delivered[1].size(), 6u);
+}
+
+TEST(RouterTest, PerPriorityQueuesPreventHolBlocking) {
+  RouterRig rig;
+  // Low-priority packets to the blocked output 0 sit at the head of input
+  // 0's low queue; a high-priority packet to output 1 from the same input
+  // must still get through (separate virtual queue).
+  rig.links[0]->set_sink([&](Packet&& p) {
+    rig.delivered[0].push_back(std::move(p));  // block output 0
+  });
+  for (int i = 0; i < 4; ++i) {
+    rig.router->receive(0, make_packet(0, 8, kPriorityLow));
+  }
+  rig.router->receive(0, make_packet(1, 8, kPriorityHigh));
+  rig.kernel.run();
+  EXPECT_EQ(rig.delivered[1].size(), 1u);
+  EXPECT_EQ(rig.delivered[1][0].priority, kPriorityHigh);
+}
+
+TEST(RouterTest, StartTwiceThrows) {
+  RouterRig rig;
+  EXPECT_THROW(rig.router->start(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace sv::net

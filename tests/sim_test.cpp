@@ -1,0 +1,351 @@
+// Unit tests for the simulation kernel: event ordering, coroutines,
+#include <bit>
+// synchronization primitives, statistics, configuration, PRNG.
+#include <gtest/gtest.h>
+
+#include "sim/config.hpp"
+#include "sim/coro.hpp"
+#include "sim/kernel.hpp"
+#include "sim/random.hpp"
+#include "sim/stats.hpp"
+
+namespace sv::sim {
+namespace {
+
+TEST(EventQueue, OrdersByTimeThenSequence) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(20, [&] { order.push_back(2); });
+  q.push(10, [&] { order.push_back(0); });
+  q.push(10, [&] { order.push_back(1); });
+  while (!q.empty()) {
+    q.pop()();
+  }
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Kernel, AdvancesTimeMonotonically) {
+  Kernel k;
+  std::vector<Tick> times;
+  k.schedule(100, [&] { times.push_back(k.now()); });
+  k.schedule(50, [&] { times.push_back(k.now()); });
+  k.schedule(50, [&] { k.schedule(25, [&] { times.push_back(k.now()); }); });
+  k.run();
+  EXPECT_EQ(times, (std::vector<Tick>{50, 75, 100}));
+}
+
+TEST(Kernel, RunUntilStopsAtBoundary) {
+  Kernel k;
+  int fired = 0;
+  k.schedule(10, [&] { ++fired; });
+  k.schedule(20, [&] { ++fired; });
+  k.run_until(15);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(k.now(), 15u);
+  k.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Kernel, ZeroDelayRunsAfterCurrentEvent) {
+  Kernel k;
+  std::vector<int> order;
+  k.schedule(10, [&] {
+    order.push_back(0);
+    k.schedule(0, [&] { order.push_back(2); });
+    order.push_back(1);
+  });
+  k.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(k.now(), 10u);
+}
+
+TEST(Kernel, EventLimitThrows) {
+  Kernel k;
+  k.set_event_limit(10);
+  std::function<void()> loop = [&] { k.schedule(1, loop); };
+  k.schedule(1, loop);
+  EXPECT_THROW(k.run(), std::runtime_error);
+}
+
+TEST(Kernel, SchedulePastThrows) {
+  Kernel k;
+  k.schedule(10, [] {});
+  k.run();
+  EXPECT_THROW(k.schedule_abs(5, [] {}), std::logic_error);
+}
+
+TEST(Clock, CycleConversions) {
+  Clock c(15000);  // 66.67 MHz
+  EXPECT_EQ(c.to_ticks(4), 60000u);
+  EXPECT_EQ(c.to_cycles(60000), 4u);
+  EXPECT_EQ(c.until_next_edge(0), 0u);
+  EXPECT_EQ(c.until_next_edge(1), 14999u);
+  EXPECT_EQ(c.until_next_edge(15000), 0u);
+  EXPECT_NEAR(c.mhz(), 66.67, 0.01);
+}
+
+TEST(Coro, DelayResumesAtRightTime) {
+  Kernel k;
+  Tick seen = 0;
+  spawn([](Kernel* kp, Tick* out) -> Co<void> {
+    co_await delay(*kp, 123);
+    *out = kp->now();
+  }(&k, &seen));
+  k.run();
+  EXPECT_EQ(seen, 123u);
+}
+
+TEST(Coro, NestedAwaitPropagatesValues) {
+  Kernel k;
+  int result = 0;
+  spawn([](Kernel* kp, int* out) -> Co<void> {
+    auto inner = [](Kernel* kk) -> Co<int> {
+      co_await delay(*kk, 5);
+      co_return 21;
+    };
+    const int a = co_await inner(kp);
+    const int b = co_await inner(kp);
+    *out = a + b;
+  }(&k, &result));
+  k.run();
+  EXPECT_EQ(result, 42);
+  EXPECT_EQ(k.now(), 10u);
+}
+
+TEST(Coro, ExceptionPropagatesThroughCo) {
+  Kernel k;
+  bool caught = false;
+  spawn([](Kernel* kp, bool* flag) -> Co<void> {
+    auto bad = [](Kernel* kk) -> Co<void> {
+      co_await delay(*kk, 1);
+      throw std::runtime_error("boom");
+    };
+    try {
+      co_await bad(kp);
+    } catch (const std::runtime_error&) {
+      *flag = true;
+    }
+  }(&k, &caught));
+  k.run();
+  EXPECT_TRUE(caught);
+}
+
+TEST(OneShot, WakesAllWaitersAndStaysFired) {
+  Kernel k;
+  OneShot ev(k);
+  int woken = 0;
+  for (int i = 0; i < 3; ++i) {
+    spawn([](OneShot* e, int* n) -> Co<void> {
+      co_await *e;
+      ++*n;
+    }(&ev, &woken));
+  }
+  k.schedule(10, [&] { ev.fire(); });
+  k.run();
+  EXPECT_EQ(woken, 3);
+  // Late waiter resumes immediately.
+  spawn([](OneShot* e, int* n) -> Co<void> {
+    co_await *e;
+    ++*n;
+  }(&ev, &woken));
+  k.run();
+  EXPECT_EQ(woken, 4);
+}
+
+TEST(Signal, OnlyWakesCurrentWaiters) {
+  Kernel k;
+  Signal sig(k);
+  int woken = 0;
+  spawn([](Signal* s, int* n) -> Co<void> {
+    co_await *s;
+    ++*n;
+    co_await *s;
+    ++*n;
+  }(&sig, &woken));
+  k.schedule(10, [&] { sig.pulse(); });
+  k.run();
+  EXPECT_EQ(woken, 1);  // second wait needs a second pulse
+  k.schedule(10, [&] { sig.pulse(); });
+  k.run();
+  EXPECT_EQ(woken, 2);
+}
+
+TEST(Signal, UntilChecksPredicateOnEveryPulse) {
+  Kernel k;
+  Signal sig(k);
+  int x = 0;
+  bool done = false;
+  spawn([](Signal* s, int* xp, bool* d) -> Co<void> {
+    co_await s->until([xp] { return *xp >= 3; });
+    *d = true;
+  }(&sig, &x, &done));
+  for (Tick t = 1; t <= 5; ++t) {
+    k.schedule(t * 10, [&] {
+      ++x;
+      sig.pulse();
+    });
+  }
+  k.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(x, 5);
+}
+
+TEST(Future, DeliversValueToMultipleConsumers) {
+  Kernel k;
+  Promise<int> p(k);
+  int sum = 0;
+  for (int i = 0; i < 2; ++i) {
+    spawn([](Future<int> f, int* out) -> Co<void> {
+      *out += co_await f.get();
+    }(p.get_future(), &sum));
+  }
+  k.schedule(5, [&] { p.set_value(21); });
+  k.run();
+  EXPECT_EQ(sum, 42);
+}
+
+TEST(Channel, FifoOrderAndDirectHandoff) {
+  Kernel k;
+  Channel<int> ch(k);
+  std::vector<int> got;
+  spawn([](Channel<int>* c, std::vector<int>* out) -> Co<void> {
+    for (int i = 0; i < 4; ++i) {
+      out->push_back(co_await c->pop());
+    }
+  }(&ch, &got));
+  ch.push(1);
+  ch.push(2);
+  k.schedule(10, [&] { ch.push(3); });
+  k.schedule(20, [&] { ch.push(4); });
+  k.run();
+  EXPECT_EQ(got, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(Channel, TryPopDoesNotStealFromWaiters) {
+  Kernel k;
+  Channel<int> ch(k);
+  int got = -1;
+  spawn([](Channel<int>* c, int* out) -> Co<void> {
+    *out = co_await c->pop();
+  }(&ch, &got));
+  k.run();
+  ch.push(7);
+  // The waiter owns the item even before it resumes.
+  EXPECT_FALSE(ch.try_pop().has_value());
+  k.run();
+  EXPECT_EQ(got, 7);
+}
+
+TEST(Semaphore, MutualExclusionAndFifoWakeup) {
+  Kernel k;
+  Semaphore sem(k, 1);
+  std::vector<int> order;
+  for (int i = 0; i < 3; ++i) {
+    spawn([](Kernel* kp, Semaphore* s, std::vector<int>* out,
+             int id) -> Co<void> {
+      co_await s->acquire();
+      out->push_back(id);
+      co_await delay(*kp, 10);
+      s->release();
+    }(&k, &sem, &order, i));
+  }
+  k.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(k.now(), 30u);
+  EXPECT_EQ(sem.available(), 1u);
+}
+
+TEST(Stats, AccumulatorAndHistogram) {
+  Accumulator a;
+  a.sample(1.0);
+  a.sample(3.0);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(a.min(), 1.0);
+  EXPECT_DOUBLE_EQ(a.max(), 3.0);
+
+  Histogram h;
+  h.sample(1);
+  h.sample(2);
+  h.sample(1000);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.max(), 1000u);
+  EXPECT_GE(h.percentile(100), 1000u);
+}
+
+TEST(Stats, BusyTrackerOccupancy) {
+  BusyTracker b;
+  b.add_busy(25);
+  b.add_busy(25);
+  EXPECT_DOUBLE_EQ(b.occupancy(100), 0.5);
+  EXPECT_DOUBLE_EQ(b.occupancy(0), 0.0);
+}
+
+TEST(Config, TypedAccessAndParsing) {
+  auto cfg = Config::from_args({"a=1", "b=2.5", "c=true", "d=hello"});
+  EXPECT_EQ(cfg.get_u64("a", 0), 1u);
+  EXPECT_DOUBLE_EQ(cfg.get_double("b", 0), 2.5);
+  EXPECT_TRUE(cfg.get_bool("c", false));
+  EXPECT_EQ(cfg.get_string("d"), "hello");
+  EXPECT_EQ(cfg.get_u64("missing", 42), 42u);
+  EXPECT_THROW(Config::from_args({"novalue"}), std::invalid_argument);
+  EXPECT_THROW((void)Config::from_args({"x=maybe"}).get_bool("x", false),
+               std::invalid_argument);
+}
+
+TEST(Config, MergeOverrides) {
+  Config base;
+  base.set_u64("a", 1);
+  base.set_u64("b", 2);
+  Config over;
+  over.set_u64("b", 3);
+  base.merge(over);
+  EXPECT_EQ(base.get_u64("a", 0), 1u);
+  EXPECT_EQ(base.get_u64("b", 0), 3u);
+}
+
+TEST(Rng, DeterministicAndUniform) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+  Rng c(43);
+  EXPECT_NE(a.next(), c.next());
+
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.range(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+class HistogramBucketTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HistogramBucketTest, SampleLandsInCorrectBucket) {
+  Histogram h;
+  const std::uint64_t v = GetParam();
+  h.sample(v);
+  // Bucket i covers (2^(i-1), 2^i]; bucket 0 covers 0..1.
+  const std::size_t expected =
+      v <= 1 ? 0 : static_cast<std::size_t>(std::bit_width(v - 1));
+  const auto& b = h.buckets();
+  ASSERT_GT(b.size(), expected);
+  EXPECT_EQ(b[expected], 1u);
+  std::uint64_t total = 0;
+  for (const auto count : b) {
+    total += count;
+  }
+  EXPECT_EQ(total, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Powers, HistogramBucketTest,
+                         ::testing::Values(0, 1, 2, 3, 4, 7, 8, 9, 1023,
+                                           1024, 1025, 1u << 20));
+
+}  // namespace
+}  // namespace sv::sim

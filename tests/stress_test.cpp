@@ -1,0 +1,222 @@
+// Stress and reconfiguration tests: multi-node shared-memory contention,
+// runtime reconfiguration of the aBIU reaction tables and the rx-queue
+// cache (firmware rebinding hardware queues to different logical ids),
+// and a mixed "system workload" combining every mechanism at once.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "msg/dma.hpp"
+#include "shm/numa_region.hpp"
+#include "shm/scoma_region.hpp"
+#include "sim/random.hpp"
+#include "xfer/approaches.hpp"
+#include "tests/test_util.hpp"
+
+namespace sv {
+namespace {
+
+TEST(StressTest, FourNodeScomaRandomTraffic) {
+  auto machine = sys::Machine(test::small_machine_params(4));
+  std::vector<std::unique_ptr<shm::ScomaRegion>> regions;
+  for (sim::NodeId n = 0; n < 4; ++n) {
+    regions.push_back(
+        std::make_unique<shm::ScomaRegion>(machine.node(n).ap()));
+  }
+  sim::Rng rng(99);
+  std::vector<std::uint32_t> ref(24, 0);
+
+  bool done = false;
+  machine.node(0).ap().run(
+      [](std::vector<std::unique_ptr<shm::ScomaRegion>>* rs, sim::Rng* rng,
+         std::vector<std::uint32_t>* ref, bool* d) -> sim::Co<void> {
+        for (int i = 0; i < 200; ++i) {
+          auto& r = *(*rs)[rng->below(rs->size())];
+          const std::size_t word = rng->below(ref->size());
+          // Spread words across pages so all four homes participate.
+          const mem::Addr off = 0x1000 * (1 + word % 4) + (word / 4) * 64;
+          if (rng->chance(0.5)) {
+            const auto v = static_cast<std::uint32_t>(rng->next());
+            co_await r.store<std::uint32_t>(off, v);
+            (*ref)[word] = v;
+          } else {
+            const auto v = co_await r.load<std::uint32_t>(off);
+            EXPECT_EQ(v, (*ref)[word]) << "word " << word << " iter " << i;
+          }
+        }
+        *d = true;
+      }(&regions, &rng, &ref, &done));
+  test::drive(machine.kernel(), [&] { return done; },
+              5000 * sim::kMillisecond);
+}
+
+TEST(StressTest, NumaReactionReconfiguration) {
+  // The paper: "a configurable table that decides whether an operation is
+  // actually passed to the sP, allowing the filtering of operations that
+  // are not useful for coherence". Reconfigure stores to be dropped
+  // (absorbed but not forwarded): the store completes on the bus but the
+  // firmware never sees it.
+  auto machine = sys::Machine(test::small_machine_params(2));
+  auto& abiu = machine.node(0).niu().abiu();
+  abiu.set_numa_reaction(niu::OpClass::kStore, {false, false});
+
+  shm::NumaRegion numa(machine.node(0).ap());
+  bool done = false;
+  machine.node(0).ap().run(
+      [](shm::NumaRegion* r, bool* d) -> sim::Co<void> {
+        co_await r->store<std::uint32_t>(0x40, 1234);  // filtered out
+        *d = true;
+      }(&numa, &done));
+  test::drive(machine.kernel(), [&] { return done; });
+  machine.kernel().run_until(machine.kernel().now() +
+                             20 * sim::kMicrosecond);
+
+  // Nothing reached the backing store; the forward count stayed at zero.
+  EXPECT_EQ(machine.node(0).dram().store().read_scalar<std::uint32_t>(
+                fw::kNumaBackingBase + 0x40),
+            0u);
+  EXPECT_EQ(abiu.stats().numa_forwards.value(), 0u);
+
+  // Restore the default and verify stores flow again.
+  abiu.set_numa_reaction(niu::OpClass::kStore, {false, true});
+  done = false;
+  machine.node(0).ap().run(
+      [](shm::NumaRegion* r, bool* d) -> sim::Co<void> {
+        co_await r->store<std::uint32_t>(0x40, 5678);
+        *d = true;
+      }(&numa, &done));
+  test::drive(machine.kernel(), [&] {
+    return machine.node(0).dram().store().read_scalar<std::uint32_t>(
+               fw::kNumaBackingBase + 0x40) == 5678;
+  });
+}
+
+TEST(StressTest, RxQueueCacheRebinding) {
+  // "Selectively caching queues": the OS/firmware can rebind a hardware
+  // receive queue to a different logical id at runtime. Traffic for the
+  // old id then spills through the miss queue; traffic for the new id
+  // lands in hardware.
+  auto machine =
+      sys::Machine(test::small_machine_params(2, sys::Machine::NetKind::kIdeal));
+  auto ep0 = machine.node(0).make_endpoint();
+  auto& rctrl = machine.node(1).niu().ctrl();
+
+  constexpr net::QueueId kHot = 0x0200;
+  // Rebind the user1 hardware queue to the new hot logical id.
+  rctrl.rxq(sys::Node::kRxUser1).logical = kHot;
+
+  machine.node(0).ap().run(
+      [](msg::Endpoint* ep) -> sim::Co<void> {
+        co_await ep->send_raw(1, kHot, test::pattern_bytes(8));
+        // The old user1 logical id now misses.
+        co_await ep->send_raw(1, msg::AddressMap::kUser1L,
+                              test::pattern_bytes(8));
+      }(&ep0));
+
+  test::drive(machine.kernel(), [&] {
+    return !rctrl.rxq(sys::Node::kRxUser1).empty() &&
+           rctrl.stats().rx_misses.value() >= 1;
+  });
+}
+
+TEST(StressTest, MixedSystemWorkload) {
+  // The paper's closing argument: real platforms support "system workload
+  // level studies". Run messaging, DMA, S-COMA and NUMA traffic at the
+  // same time on one machine and verify every piece completes correctly.
+  auto machine = sys::Machine(test::small_machine_params(2));
+  auto ep0 = machine.node(0).make_endpoint();
+  auto ep1 = machine.node(1).make_endpoint();
+  const auto map = machine.addr_map();
+
+  auto dma_src = test::pattern_bytes(8192, 77);
+  machine.node(0).dram().store().write(0x100000, dma_src);
+
+  int done = 0;
+  bool msgs_ok = true;
+
+  // Thread 1 (node 0 aP): DMA push + message stream.
+  machine.node(0).ap().run(
+      [](msg::Endpoint* ep, msg::AddressMap map, int* d) -> sim::Co<void> {
+        co_await msg::dma_write(*ep, map, 0, 1, 0x100000, 0x200000, 8192,
+                                msg::AddressMap::kUser1L, 0xD);
+        for (std::uint32_t i = 0; i < 30; ++i) {
+          std::byte b[4];
+          std::memcpy(b, &i, 4);
+          co_await ep->send(map.user0(1), b);
+        }
+        ++*d;
+      }(&ep0, map, &done));
+
+  // Thread 2 (node 1 aP): consume messages while touching shared memory.
+  machine.node(1).ap().run(
+      [](msg::Endpoint* ep, sys::Machine* m, int* d,
+         bool* ok) -> sim::Co<void> {
+        shm::ScomaRegion sc(m->node(1).ap());
+        shm::NumaRegion nm(m->node(1).ap());
+        for (std::uint32_t i = 0; i < 30; ++i) {
+          msg::Message msg = co_await ep->recv();
+          std::uint32_t seq = 0;
+          std::memcpy(&seq, msg.data.data(), 4);
+          if (seq != i) {
+            *ok = false;
+          }
+          co_await sc.store<std::uint32_t>(0x40 * (i + 1), i);
+          co_await nm.store<std::uint32_t>(0x40 * (i + 1), i + 100);
+        }
+        ++*d;
+      }(&ep1, &machine, &done, &msgs_ok));
+
+  // Thread 3 (node 1, second endpoint): wait for the DMA completion.
+  auto ep1b = machine.node(1).make_endpoint1();
+  machine.node(1).ap().run(
+      [](msg::Endpoint* ep, int* d) -> sim::Co<void> {
+        msg::Message m = co_await ep->recv_interrupt();
+        std::uint32_t tag = 0;
+        std::memcpy(&tag, m.data.data(), 4);
+        EXPECT_EQ(tag, 0xDu);
+        ++*d;
+      }(&ep1b, &done));
+
+  test::drive(machine.kernel(), [&] { return done == 3; },
+              2000 * sim::kMillisecond);
+  EXPECT_TRUE(msgs_ok);
+
+  std::vector<std::byte> dst(8192);
+  machine.node(1).dram().store().read(0x200000, dst);
+  EXPECT_EQ(dst, dma_src);
+
+  // The shared-memory side effects all landed.
+  for (std::uint32_t i = 0; i < 30; ++i) {
+    EXPECT_EQ(machine.node(1).niu().cls().peek(niu::kScomaBase +
+                                               0x40 * (i + 1)),
+              niu::ABiu::kClsReadWrite);
+  }
+}
+
+TEST(StressTest, ManyTransfersAcrossAllApproachesStaysDeterministic) {
+  auto run_once = [] {
+    auto p = test::small_machine_params(2);
+    p.node.enable_scoma = false;
+    sys::Machine machine(p);
+    xfer::BlockTransferHarness harness(machine);
+    sim::Tick sum = 0;
+    for (int i = 0; i < 2; ++i) {
+      for (int approach = 1; approach <= 5; ++approach) {
+        xfer::TransferSpec s;
+        s.src = 0x0010'0000;
+        s.dst = approach >= 4 ? niu::kScomaBase + 0x4000 : 0x0020'0000;
+        s.len = 2048;
+        xfer::RunOptions opt;
+        opt.consume = approach >= 4;
+        const auto res = harness.run(approach, s, opt);
+        EXPECT_TRUE(res.ok);
+        sum += res.latency();
+      }
+    }
+    return sum;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace sv

@@ -1,0 +1,49 @@
+// Shared test helpers: small-machine factories and kernel-driving utilities.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "sys/experiment.hpp"
+#include "sys/machine.hpp"
+
+namespace sv::test {
+
+inline sys::Machine::Params small_machine_params(
+    std::size_t nodes, sys::Machine::NetKind net = sys::Machine::NetKind::kFatTree) {
+  sys::Machine::Params p;
+  p.nodes = nodes;
+  p.net = net;
+  p.node.dram_size = 8ull * 1024 * 1024;
+  p.node.scoma_size = 1ull * 1024 * 1024;
+  p.node.numa_backing_size = 8ull * 1024 * 1024;
+  return p;
+}
+
+/// Drive `kernel` until `pred` holds; fail the test on timeout.
+inline void drive(sim::Kernel& kernel, const std::function<bool()>& pred,
+                  sim::Tick timeout = 100 * sim::kMillisecond) {
+  ASSERT_TRUE(sys::run_until(kernel, pred, kernel.now() + timeout))
+      << "simulation timed out at " << kernel.now() << " ps";
+}
+
+/// Run a single coroutine to completion on a bare kernel.
+inline void run_co(sim::Kernel& kernel, sim::Co<void> co,
+                   sim::Tick timeout = 100 * sim::kMillisecond) {
+  sim::OneShot done(kernel);
+  sim::spawn([](sim::Co<void> c, sim::OneShot* d) -> sim::Co<void> {
+    co_await std::move(c);
+    d->fire();
+  }(std::move(co), &done));
+  drive(kernel, [&] { return done.fired(); }, timeout);
+}
+
+inline std::vector<std::byte> pattern_bytes(std::size_t n,
+                                            std::uint8_t seed = 1) {
+  std::vector<std::byte> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<std::byte>((i * 13 + seed) & 0xFF);
+  }
+  return v;
+}
+
+}  // namespace sv::test

@@ -1,0 +1,157 @@
+// Block-transfer approach tests (the paper's section-6 experiment):
+// correctness of all five approaches, plus the qualitative shape relations
+// the paper reports (approach ordering, occupancy, optimistic latency).
+#include <gtest/gtest.h>
+
+#include "tests/test_util.hpp"
+#include "xfer/approaches.hpp"
+
+namespace sv {
+namespace {
+
+class XferTest : public ::testing::Test {
+ protected:
+  XferTest() : machine(make_params()), harness(machine) {}
+
+  static sys::Machine::Params make_params() {
+    auto p = test::small_machine_params(2);
+    // Approaches 4/5 manage cls state themselves.
+    p.node.enable_scoma = false;
+    return p;
+  }
+
+  static xfer::TransferSpec spec_for(std::uint32_t len, bool scoma_dst) {
+    xfer::TransferSpec s;
+    s.sender = 0;
+    s.receiver = 1;
+    s.src = 0x0010'0000;
+    s.dst = scoma_dst ? niu::kScomaBase + 0x4000 : 0x0020'0000;
+    s.len = len;
+    return s;
+  }
+
+  sys::Machine machine;
+  xfer::BlockTransferHarness harness;
+};
+
+TEST_F(XferTest, Approach1TransfersCorrectly) {
+  auto res = harness.run(1, spec_for(2048, false));
+  EXPECT_TRUE(res.ok);
+  EXPECT_GT(res.latency(), 0u);
+}
+
+TEST_F(XferTest, Approach2TransfersCorrectly) {
+  auto res = harness.run(2, spec_for(2048, false));
+  EXPECT_TRUE(res.ok);
+}
+
+TEST_F(XferTest, Approach3TransfersCorrectly) {
+  auto res = harness.run(3, spec_for(2048, false));
+  EXPECT_TRUE(res.ok);
+}
+
+TEST_F(XferTest, Approach4TransfersCorrectly) {
+  xfer::RunOptions opt;
+  opt.consume = true;
+  auto res = harness.run(4, spec_for(2048, true), opt);
+  EXPECT_TRUE(res.ok);
+  EXPECT_GT(res.consume_time, res.notify_time);
+}
+
+TEST_F(XferTest, Approach5TransfersCorrectly) {
+  xfer::RunOptions opt;
+  opt.consume = true;
+  auto res = harness.run(5, spec_for(2048, true), opt);
+  EXPECT_TRUE(res.ok);
+}
+
+TEST_F(XferTest, LargeMultiPageTransfers) {
+  for (int approach : {1, 2, 3}) {
+    auto res = harness.run(approach, spec_for(16384, false));
+    EXPECT_TRUE(res.ok) << "approach " << approach;
+  }
+}
+
+TEST_F(XferTest, BackToBackTransfersStayCorrect) {
+  // Reusing the harness (and hence queue pointers) across many transfers.
+  for (int i = 0; i < 3; ++i) {
+    for (int approach : {3, 1, 2}) {
+      auto res = harness.run(approach, spec_for(1024, false));
+      EXPECT_TRUE(res.ok) << "approach " << approach << " iter " << i;
+    }
+  }
+}
+
+TEST_F(XferTest, PaperShapeLatencyOrdering) {
+  // Figure 3's shape: approach 1 is the slowest; approach 3 beats it.
+  const auto r1 = harness.run(1, spec_for(4096, false));
+  const auto r2 = harness.run(2, spec_for(4096, false));
+  const auto r3 = harness.run(3, spec_for(4096, false));
+  ASSERT_TRUE(r1.ok && r2.ok && r3.ok);
+  EXPECT_GT(r1.latency(), r2.latency());
+  EXPECT_GT(r2.latency(), r3.latency());
+}
+
+TEST_F(XferTest, PaperShapeOccupancy) {
+  // Approach 1 burns aP time; approach 2 shifts the burden to the sPs;
+  // approach 3 leaves both nearly idle.
+  const auto r1 = harness.run(1, spec_for(4096, false));
+  const auto r2 = harness.run(2, spec_for(4096, false));
+  const auto r3 = harness.run(3, spec_for(4096, false));
+  ASSERT_TRUE(r1.ok && r2.ok && r3.ok);
+
+  EXPECT_GT(r1.sender_ap_busy, r2.sender_ap_busy);
+  EXPECT_GT(r1.sender_ap_busy, r3.sender_ap_busy);
+  EXPECT_GT(r2.sender_sp_busy, r1.sender_sp_busy);
+  EXPECT_GT(r2.sender_sp_busy, r3.sender_sp_busy);
+  EXPECT_GT(r2.receiver_sp_busy, r3.receiver_sp_busy);
+}
+
+TEST_F(XferTest, OptimisticNotificationArrivesEarly) {
+  // Approaches 4/5 notify after ~1/4 of the data: the notify must land
+  // well before an equally-sized approach-3 transfer completes.
+  const auto r3 = harness.run(3, spec_for(16384, true));
+  const auto r4 = harness.run(4, spec_for(16384, true));
+  const auto r5 = harness.run(5, spec_for(16384, true));
+  ASSERT_TRUE(r3.ok && r4.ok && r5.ok);
+  EXPECT_LT(r4.latency(), r3.latency());
+  EXPECT_LT(r5.latency(), r3.latency());
+}
+
+TEST_F(XferTest, HardwareClsBeatsFirmwareOpener) {
+  // Approach 5 (aBIU cls update) consumes less receiver sP time than
+  // approach 4 (per-chunk firmware).
+  xfer::RunOptions opt;
+  opt.consume = true;
+  const auto r4 = harness.run(4, spec_for(8192, true), opt);
+  const auto r5 = harness.run(5, spec_for(8192, true), opt);
+  ASSERT_TRUE(r4.ok && r5.ok);
+  EXPECT_LT(r5.receiver_sp_busy, r4.receiver_sp_busy);
+}
+
+class XferSizeSweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(XferSizeSweep, AllApproachesCorrectAcrossSizes) {
+  auto p = test::small_machine_params(2);
+  p.node.enable_scoma = false;
+  sys::Machine machine(p);
+  xfer::BlockTransferHarness harness(machine);
+
+  const std::uint32_t len = GetParam();
+  for (int approach = 1; approach <= 5; ++approach) {
+    xfer::TransferSpec s;
+    s.src = 0x0010'0000;
+    s.dst = approach >= 4 ? niu::kScomaBase + 0x4000 : 0x0020'0000;
+    s.len = len;
+    xfer::RunOptions opt;
+    opt.consume = approach >= 4;
+    auto res = harness.run(approach, s, opt);
+    EXPECT_TRUE(res.ok) << "approach " << approach << " len " << len;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, XferSizeSweep,
+                         ::testing::Values(64, 256, 1024, 4096, 12288));
+
+}  // namespace
+}  // namespace sv

@@ -1,0 +1,272 @@
+// svsim: command-line driver for the simulated StarT-Voyager machine.
+//
+// Runs a parameterized workload and dumps machine-wide statistics —
+// the quickest way to poke at configuration questions ("what does the bus
+// occupancy look like at 8 nodes?", "how many bus retries does a racing
+// S-COMA consumer cause?") without writing a program.
+//
+// Usage:
+//   svsim <workload> [key=value ...]
+//
+// Workloads:
+//   msg       all-to-all Basic messaging       (nodes, count, bytes)
+//   express   all-to-all Express messaging     (nodes, count)
+//   xfer      block transfer                   (approach, bytes)
+//   dma       DMA write                        (bytes)
+//   scoma     random shared-memory traffic     (nodes, ops, words, seed)
+//   numa      random NUMA traffic              (nodes, ops, words, seed)
+//
+// Common keys: nodes=N net=fattree|ideal radix=K stats=0|1 deadline_ms=N
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "msg/dma.hpp"
+#include "shm/numa_region.hpp"
+#include "shm/scoma_region.hpp"
+#include "sim/config.hpp"
+#include "sim/random.hpp"
+#include "sys/stats_dump.hpp"
+#include "xfer/approaches.hpp"
+
+using namespace sv;
+
+namespace {
+
+sys::Machine::Params machine_params(const sim::Config& cfg) {
+  sys::Machine::Params p;
+  p.nodes = cfg.get_u64("nodes", 2);
+  p.radix = static_cast<unsigned>(cfg.get_u64("radix", 4));
+  p.net = cfg.get_string("net", "fattree") == "ideal"
+              ? sys::Machine::NetKind::kIdeal
+              : sys::Machine::NetKind::kFatTree;
+  p.node.dram_size = cfg.get_u64("dram_mb", 16) * 1024 * 1024;
+  p.node.scoma_size = cfg.get_u64("scoma_mb", 2) * 1024 * 1024;
+  p.node.enable_scoma = cfg.get_bool("scoma", true);
+  return p;
+}
+
+sim::Tick deadline(const sim::Config& cfg, sys::Machine& m) {
+  return m.kernel().now() +
+         cfg.get_u64("deadline_ms", 2000) * sim::kMillisecond;
+}
+
+int run_msg(sys::Machine& machine, const sim::Config& cfg, bool express) {
+  const auto count = cfg.get_u64("count", 100);
+  const auto bytes = cfg.get_u64("bytes", 32);
+  const auto map = machine.addr_map();
+
+  std::vector<std::unique_ptr<msg::Endpoint>> eps;
+  for (sim::NodeId n = 0; n < machine.size(); ++n) {
+    eps.push_back(std::make_unique<msg::Endpoint>(
+        machine.node(n).ap(), machine.node(n).endpoint_config()));
+  }
+
+  std::size_t done = 0;
+  for (sim::NodeId n = 0; n < machine.size(); ++n) {
+    machine.node(n).ap().run(
+        [](msg::Endpoint* ep, msg::AddressMap map, sim::NodeId self,
+           std::size_t nodes, std::uint64_t count, std::uint64_t bytes,
+           bool express_, std::size_t* d) -> sim::Co<void> {
+          std::vector<std::byte> payload(bytes);
+          for (std::uint64_t i = 0; i < count; ++i) {
+            const auto dst =
+                static_cast<sim::NodeId>((self + 1 + i % (nodes - 1)) %
+                                         nodes);
+            if (express_) {
+              co_await ep->send_express(
+                  static_cast<std::uint8_t>(map.express(dst)), 0,
+                  static_cast<std::uint32_t>(i));
+            } else {
+              co_await ep->send(map.user0(dst), payload);
+            }
+          }
+          for (std::uint64_t i = 0; i < count; ++i) {
+            if (express_) {
+              (void)co_await ep->recv_express();
+            } else {
+              (void)co_await ep->recv();
+            }
+          }
+          ++*d;
+        }(eps[n].get(), map, n, machine.size(), count, bytes, express,
+          &done));
+  }
+  const sim::Tick t0 = machine.kernel().now();
+  if (!sys::run_until(machine.kernel(),
+                      [&] { return done == machine.size(); },
+                      deadline(cfg, machine))) {
+    std::fprintf(stderr, "svsim: timed out\n");
+    return 1;
+  }
+  const double us = static_cast<double>(machine.kernel().now() - t0) / 1e6;
+  const double total_bytes =
+      static_cast<double>(machine.size() * count * (express ? 5 : bytes));
+  std::printf("%s all-to-all: %zu nodes x %llu msgs in %.1f us "
+              "(%.1f MB/s aggregate payload)\n",
+              express ? "express" : "basic", machine.size(),
+              static_cast<unsigned long long>(count), us,
+              total_bytes / us);
+  return 0;
+}
+
+int run_xfer(sys::Machine& machine, const sim::Config& cfg) {
+  const int approach = static_cast<int>(cfg.get_u64("approach", 3));
+  const auto bytes = static_cast<std::uint32_t>(cfg.get_u64("bytes", 16384));
+  xfer::BlockTransferHarness harness(machine);
+  xfer::TransferSpec spec;
+  spec.src = 0x0010'0000;
+  spec.dst = approach >= 4 ? niu::kScomaBase + 0x8000 : 0x0040'0000;
+  spec.len = bytes;
+  xfer::RunOptions opt;
+  opt.consume = cfg.get_bool("consume", approach >= 4);
+  const auto res = harness.run(approach, spec, opt);
+  std::printf("approach %d, %u bytes: notify %.2f us (%.1f MB/s)%s, "
+              "tx aP %.2f us / tx sP %.2f us / rx sP %.2f us, %s\n",
+              approach, bytes,
+              static_cast<double>(res.latency()) / 1e6,
+              res.bandwidth_mbps(bytes),
+              opt.consume
+                  ? (", consumed " +
+                     std::to_string(
+                         static_cast<double>(res.consume_time - res.start) /
+                         1e6) +
+                     " us")
+                        .c_str()
+                  : "",
+              static_cast<double>(res.sender_ap_busy) / 1e6,
+              static_cast<double>(res.sender_sp_busy) / 1e6,
+              static_cast<double>(res.receiver_sp_busy) / 1e6,
+              res.ok ? "verified" : "VERIFY FAILED");
+  return res.ok ? 0 : 1;
+}
+
+int run_dma(sys::Machine& machine, const sim::Config& cfg) {
+  const auto bytes = static_cast<std::uint32_t>(cfg.get_u64("bytes", 65536));
+  auto ep0 = machine.node(0).make_endpoint();
+  auto ep1 = machine.node(1).make_endpoint();
+  bool got = false;
+  machine.node(0).ap().run(
+      [](msg::Endpoint* ep, msg::AddressMap map,
+         std::uint32_t n) -> sim::Co<void> {
+        co_await msg::dma_write(*ep, map, 0, 1, 0x100000, 0x200000, n,
+                                msg::AddressMap::kUser0L, 1);
+      }(&ep0, machine.addr_map(), bytes));
+  machine.node(1).ap().run(
+      [](msg::Endpoint* ep, bool* d) -> sim::Co<void> {
+        (void)co_await ep->recv();
+        *d = true;
+      }(&ep1, &got));
+  const sim::Tick t0 = machine.kernel().now();
+  if (!sys::run_until(machine.kernel(), [&] { return got; },
+                      deadline(cfg, machine))) {
+    std::fprintf(stderr, "svsim: timed out\n");
+    return 1;
+  }
+  const double us = static_cast<double>(machine.kernel().now() - t0) / 1e6;
+  std::printf("dma: %u bytes in %.1f us = %.1f MB/s\n", bytes, us,
+              static_cast<double>(bytes) / us);
+  return 0;
+}
+
+int run_shm(sys::Machine& machine, const sim::Config& cfg, bool scoma) {
+  const auto ops = cfg.get_u64("ops", 200);
+  const auto words = cfg.get_u64("words", 16);
+  const auto seed = cfg.get_u64("seed", 42);
+
+  bool done = false;
+  machine.node(0).ap().run(
+      [](sys::Machine* m, std::uint64_t ops_, std::uint64_t words_,
+         std::uint64_t seed_, bool scoma_, bool* d) -> sim::Co<void> {
+        sim::Rng rng(seed_);
+        std::vector<std::unique_ptr<shm::ScomaRegion>> scs;
+        std::vector<std::unique_ptr<shm::NumaRegion>> nms;
+        for (sim::NodeId n = 0; n < m->size(); ++n) {
+          scs.push_back(
+              std::make_unique<shm::ScomaRegion>(m->node(n).ap()));
+          nms.push_back(std::make_unique<shm::NumaRegion>(m->node(n).ap()));
+        }
+        for (std::uint64_t i = 0; i < ops_; ++i) {
+          const auto actor =
+              static_cast<sim::NodeId>(rng.below(m->size()));
+          const mem::Addr off = 0x1000 + rng.below(words_) * 64;
+          if (scoma_) {
+            if (rng.chance(0.5)) {
+              co_await scs[actor]->store<std::uint32_t>(
+                  off, static_cast<std::uint32_t>(i));
+            } else {
+              (void)co_await scs[actor]->load<std::uint32_t>(off);
+            }
+          } else {
+            if (rng.chance(0.5)) {
+              co_await nms[actor]->store<std::uint32_t>(
+                  off, static_cast<std::uint32_t>(i));
+            } else {
+              (void)co_await nms[actor]->load<std::uint32_t>(off);
+            }
+          }
+        }
+        *d = true;
+      }(&machine, ops, words, seed, scoma, &done));
+  const sim::Tick t0 = machine.kernel().now();
+  if (!sys::run_until(machine.kernel(), [&] { return done; },
+                      deadline(cfg, machine))) {
+    std::fprintf(stderr, "svsim: timed out\n");
+    return 1;
+  }
+  std::printf("%s: %llu ops over %llu shared words in %.1f us\n",
+              scoma ? "scoma" : "numa",
+              static_cast<unsigned long long>(ops),
+              static_cast<unsigned long long>(words),
+              static_cast<double>(machine.kernel().now() - t0) / 1e6);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: svsim <msg|express|xfer|dma|scoma|numa> "
+                 "[key=value ...]\n");
+    return 2;
+  }
+  const std::string workload = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  sim::Config cfg;
+  try {
+    cfg = sim::Config::from_args(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "svsim: %s\n", e.what());
+    return 2;
+  }
+
+  sys::Machine machine(machine_params(cfg));
+
+  int rc = 2;
+  if (workload == "msg") {
+    rc = run_msg(machine, cfg, false);
+  } else if (workload == "express") {
+    rc = run_msg(machine, cfg, true);
+  } else if (workload == "xfer") {
+    rc = run_xfer(machine, cfg);
+  } else if (workload == "dma") {
+    rc = run_dma(machine, cfg);
+  } else if (workload == "scoma") {
+    rc = run_shm(machine, cfg, true);
+  } else if (workload == "numa") {
+    rc = run_shm(machine, cfg, false);
+  } else {
+    std::fprintf(stderr, "svsim: unknown workload '%s'\n",
+                 workload.c_str());
+    return 2;
+  }
+
+  if (cfg.get_bool("stats", false)) {
+    std::printf("\n--- machine statistics ---\n");
+    sys::dump_stats(machine, std::cout);
+  }
+  return rc;
+}
