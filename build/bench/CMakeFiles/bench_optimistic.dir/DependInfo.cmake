@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_optimistic.cpp" "bench/CMakeFiles/bench_optimistic.dir/bench_optimistic.cpp.o" "gcc" "bench/CMakeFiles/bench_optimistic.dir/bench_optimistic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sv_xfer.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sv_sys.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sv_shm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sv_msg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sv_fw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sv_niu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sv_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sv_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sv_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sv_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_optimistic.dir/bench_optimistic.cpp.o"
+  "CMakeFiles/bench_optimistic.dir/bench_optimistic.cpp.o.d"
+  "bench_optimistic"
+  "bench_optimistic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_optimistic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rxcache.dir/bench_rxcache.cpp.o"
+  "CMakeFiles/bench_rxcache.dir/bench_rxcache.cpp.o.d"
+  "bench_rxcache"
+  "bench_rxcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rxcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_shm.dir/bench_shm.cpp.o"
+  "CMakeFiles/bench_shm.dir/bench_shm.cpp.o.d"
+  "bench_shm"
+  "bench_shm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_shm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

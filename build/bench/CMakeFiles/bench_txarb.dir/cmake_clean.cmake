@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_txarb.dir/bench_txarb.cpp.o"
+  "CMakeFiles/bench_txarb.dir/bench_txarb.cpp.o.d"
+  "bench_txarb"
+  "bench_txarb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_txarb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/block_transfer.dir/block_transfer.cpp.o"
+  "CMakeFiles/block_transfer.dir/block_transfer.cpp.o.d"
+  "block_transfer"
+  "block_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/block_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

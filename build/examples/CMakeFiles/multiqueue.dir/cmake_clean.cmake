@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiqueue.dir/multiqueue.cpp.o"
+  "CMakeFiles/multiqueue.dir/multiqueue.cpp.o.d"
+  "multiqueue"
+  "multiqueue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiqueue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pingpong.dir/pingpong.cpp.o"
+  "CMakeFiles/pingpong.dir/pingpong.cpp.o.d"
+  "pingpong"
+  "pingpong.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pingpong.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stencil.dir/stencil.cpp.o"
+  "CMakeFiles/stencil.dir/stencil.cpp.o.d"
+  "stencil"
+  "stencil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stencil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/update_shm.dir/update_shm.cpp.o"
+  "CMakeFiles/update_shm.dir/update_shm.cpp.o.d"
+  "update_shm"
+  "update_shm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/update_shm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sv_cpu.dir/cpu/processor.cpp.o"
+  "CMakeFiles/sv_cpu.dir/cpu/processor.cpp.o.d"
+  "libsv_cpu.a"
+  "libsv_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sv_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fw/dma.cpp" "src/CMakeFiles/sv_fw.dir/fw/dma.cpp.o" "gcc" "src/CMakeFiles/sv_fw.dir/fw/dma.cpp.o.d"
+  "/root/repo/src/fw/firmware.cpp" "src/CMakeFiles/sv_fw.dir/fw/firmware.cpp.o" "gcc" "src/CMakeFiles/sv_fw.dir/fw/firmware.cpp.o.d"
+  "/root/repo/src/fw/miss_service.cpp" "src/CMakeFiles/sv_fw.dir/fw/miss_service.cpp.o" "gcc" "src/CMakeFiles/sv_fw.dir/fw/miss_service.cpp.o.d"
+  "/root/repo/src/fw/numa.cpp" "src/CMakeFiles/sv_fw.dir/fw/numa.cpp.o" "gcc" "src/CMakeFiles/sv_fw.dir/fw/numa.cpp.o.d"
+  "/root/repo/src/fw/reflective.cpp" "src/CMakeFiles/sv_fw.dir/fw/reflective.cpp.o" "gcc" "src/CMakeFiles/sv_fw.dir/fw/reflective.cpp.o.d"
+  "/root/repo/src/fw/scoma.cpp" "src/CMakeFiles/sv_fw.dir/fw/scoma.cpp.o" "gcc" "src/CMakeFiles/sv_fw.dir/fw/scoma.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sv_niu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sv_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sv_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sv_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sv_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

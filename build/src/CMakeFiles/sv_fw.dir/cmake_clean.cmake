@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sv_fw.dir/fw/dma.cpp.o"
+  "CMakeFiles/sv_fw.dir/fw/dma.cpp.o.d"
+  "CMakeFiles/sv_fw.dir/fw/firmware.cpp.o"
+  "CMakeFiles/sv_fw.dir/fw/firmware.cpp.o.d"
+  "CMakeFiles/sv_fw.dir/fw/miss_service.cpp.o"
+  "CMakeFiles/sv_fw.dir/fw/miss_service.cpp.o.d"
+  "CMakeFiles/sv_fw.dir/fw/numa.cpp.o"
+  "CMakeFiles/sv_fw.dir/fw/numa.cpp.o.d"
+  "CMakeFiles/sv_fw.dir/fw/reflective.cpp.o"
+  "CMakeFiles/sv_fw.dir/fw/reflective.cpp.o.d"
+  "CMakeFiles/sv_fw.dir/fw/scoma.cpp.o"
+  "CMakeFiles/sv_fw.dir/fw/scoma.cpp.o.d"
+  "libsv_fw.a"
+  "libsv_fw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sv_fw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

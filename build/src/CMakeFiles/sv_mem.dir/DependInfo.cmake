@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/backing_store.cpp" "src/CMakeFiles/sv_mem.dir/mem/backing_store.cpp.o" "gcc" "src/CMakeFiles/sv_mem.dir/mem/backing_store.cpp.o.d"
+  "/root/repo/src/mem/bus.cpp" "src/CMakeFiles/sv_mem.dir/mem/bus.cpp.o" "gcc" "src/CMakeFiles/sv_mem.dir/mem/bus.cpp.o.d"
+  "/root/repo/src/mem/cache.cpp" "src/CMakeFiles/sv_mem.dir/mem/cache.cpp.o" "gcc" "src/CMakeFiles/sv_mem.dir/mem/cache.cpp.o.d"
+  "/root/repo/src/mem/cls_sram.cpp" "src/CMakeFiles/sv_mem.dir/mem/cls_sram.cpp.o" "gcc" "src/CMakeFiles/sv_mem.dir/mem/cls_sram.cpp.o.d"
+  "/root/repo/src/mem/dram.cpp" "src/CMakeFiles/sv_mem.dir/mem/dram.cpp.o" "gcc" "src/CMakeFiles/sv_mem.dir/mem/dram.cpp.o.d"
+  "/root/repo/src/mem/sram.cpp" "src/CMakeFiles/sv_mem.dir/mem/sram.cpp.o" "gcc" "src/CMakeFiles/sv_mem.dir/mem/sram.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sv_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

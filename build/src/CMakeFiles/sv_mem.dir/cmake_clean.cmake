@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sv_mem.dir/mem/backing_store.cpp.o"
+  "CMakeFiles/sv_mem.dir/mem/backing_store.cpp.o.d"
+  "CMakeFiles/sv_mem.dir/mem/bus.cpp.o"
+  "CMakeFiles/sv_mem.dir/mem/bus.cpp.o.d"
+  "CMakeFiles/sv_mem.dir/mem/cache.cpp.o"
+  "CMakeFiles/sv_mem.dir/mem/cache.cpp.o.d"
+  "CMakeFiles/sv_mem.dir/mem/cls_sram.cpp.o"
+  "CMakeFiles/sv_mem.dir/mem/cls_sram.cpp.o.d"
+  "CMakeFiles/sv_mem.dir/mem/dram.cpp.o"
+  "CMakeFiles/sv_mem.dir/mem/dram.cpp.o.d"
+  "CMakeFiles/sv_mem.dir/mem/sram.cpp.o"
+  "CMakeFiles/sv_mem.dir/mem/sram.cpp.o.d"
+  "libsv_mem.a"
+  "libsv_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sv_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/msg/channel.cpp" "src/CMakeFiles/sv_msg.dir/msg/channel.cpp.o" "gcc" "src/CMakeFiles/sv_msg.dir/msg/channel.cpp.o.d"
+  "/root/repo/src/msg/dma.cpp" "src/CMakeFiles/sv_msg.dir/msg/dma.cpp.o" "gcc" "src/CMakeFiles/sv_msg.dir/msg/dma.cpp.o.d"
+  "/root/repo/src/msg/dram_queue.cpp" "src/CMakeFiles/sv_msg.dir/msg/dram_queue.cpp.o" "gcc" "src/CMakeFiles/sv_msg.dir/msg/dram_queue.cpp.o.d"
+  "/root/repo/src/msg/endpoint.cpp" "src/CMakeFiles/sv_msg.dir/msg/endpoint.cpp.o" "gcc" "src/CMakeFiles/sv_msg.dir/msg/endpoint.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sv_niu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sv_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sv_fw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sv_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sv_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sv_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sv_msg.dir/msg/channel.cpp.o"
+  "CMakeFiles/sv_msg.dir/msg/channel.cpp.o.d"
+  "CMakeFiles/sv_msg.dir/msg/dma.cpp.o"
+  "CMakeFiles/sv_msg.dir/msg/dma.cpp.o.d"
+  "CMakeFiles/sv_msg.dir/msg/dram_queue.cpp.o"
+  "CMakeFiles/sv_msg.dir/msg/dram_queue.cpp.o.d"
+  "CMakeFiles/sv_msg.dir/msg/endpoint.cpp.o"
+  "CMakeFiles/sv_msg.dir/msg/endpoint.cpp.o.d"
+  "libsv_msg.a"
+  "libsv_msg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sv_msg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

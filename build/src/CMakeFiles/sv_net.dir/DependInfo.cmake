@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/fat_tree.cpp" "src/CMakeFiles/sv_net.dir/net/fat_tree.cpp.o" "gcc" "src/CMakeFiles/sv_net.dir/net/fat_tree.cpp.o.d"
+  "/root/repo/src/net/link.cpp" "src/CMakeFiles/sv_net.dir/net/link.cpp.o" "gcc" "src/CMakeFiles/sv_net.dir/net/link.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/CMakeFiles/sv_net.dir/net/network.cpp.o" "gcc" "src/CMakeFiles/sv_net.dir/net/network.cpp.o.d"
+  "/root/repo/src/net/packet.cpp" "src/CMakeFiles/sv_net.dir/net/packet.cpp.o" "gcc" "src/CMakeFiles/sv_net.dir/net/packet.cpp.o.d"
+  "/root/repo/src/net/router.cpp" "src/CMakeFiles/sv_net.dir/net/router.cpp.o" "gcc" "src/CMakeFiles/sv_net.dir/net/router.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sv_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sv_net.dir/net/fat_tree.cpp.o"
+  "CMakeFiles/sv_net.dir/net/fat_tree.cpp.o.d"
+  "CMakeFiles/sv_net.dir/net/link.cpp.o"
+  "CMakeFiles/sv_net.dir/net/link.cpp.o.d"
+  "CMakeFiles/sv_net.dir/net/network.cpp.o"
+  "CMakeFiles/sv_net.dir/net/network.cpp.o.d"
+  "CMakeFiles/sv_net.dir/net/packet.cpp.o"
+  "CMakeFiles/sv_net.dir/net/packet.cpp.o.d"
+  "CMakeFiles/sv_net.dir/net/router.cpp.o"
+  "CMakeFiles/sv_net.dir/net/router.cpp.o.d"
+  "libsv_net.a"
+  "libsv_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sv_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/niu/abiu.cpp" "src/CMakeFiles/sv_niu.dir/niu/abiu.cpp.o" "gcc" "src/CMakeFiles/sv_niu.dir/niu/abiu.cpp.o.d"
+  "/root/repo/src/niu/block_ops.cpp" "src/CMakeFiles/sv_niu.dir/niu/block_ops.cpp.o" "gcc" "src/CMakeFiles/sv_niu.dir/niu/block_ops.cpp.o.d"
+  "/root/repo/src/niu/command.cpp" "src/CMakeFiles/sv_niu.dir/niu/command.cpp.o" "gcc" "src/CMakeFiles/sv_niu.dir/niu/command.cpp.o.d"
+  "/root/repo/src/niu/ctrl.cpp" "src/CMakeFiles/sv_niu.dir/niu/ctrl.cpp.o" "gcc" "src/CMakeFiles/sv_niu.dir/niu/ctrl.cpp.o.d"
+  "/root/repo/src/niu/niu.cpp" "src/CMakeFiles/sv_niu.dir/niu/niu.cpp.o" "gcc" "src/CMakeFiles/sv_niu.dir/niu/niu.cpp.o.d"
+  "/root/repo/src/niu/queues.cpp" "src/CMakeFiles/sv_niu.dir/niu/queues.cpp.o" "gcc" "src/CMakeFiles/sv_niu.dir/niu/queues.cpp.o.d"
+  "/root/repo/src/niu/sbiu.cpp" "src/CMakeFiles/sv_niu.dir/niu/sbiu.cpp.o" "gcc" "src/CMakeFiles/sv_niu.dir/niu/sbiu.cpp.o.d"
+  "/root/repo/src/niu/txu_rxu.cpp" "src/CMakeFiles/sv_niu.dir/niu/txu_rxu.cpp.o" "gcc" "src/CMakeFiles/sv_niu.dir/niu/txu_rxu.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sv_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sv_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sv_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sv_niu.dir/niu/abiu.cpp.o"
+  "CMakeFiles/sv_niu.dir/niu/abiu.cpp.o.d"
+  "CMakeFiles/sv_niu.dir/niu/block_ops.cpp.o"
+  "CMakeFiles/sv_niu.dir/niu/block_ops.cpp.o.d"
+  "CMakeFiles/sv_niu.dir/niu/command.cpp.o"
+  "CMakeFiles/sv_niu.dir/niu/command.cpp.o.d"
+  "CMakeFiles/sv_niu.dir/niu/ctrl.cpp.o"
+  "CMakeFiles/sv_niu.dir/niu/ctrl.cpp.o.d"
+  "CMakeFiles/sv_niu.dir/niu/niu.cpp.o"
+  "CMakeFiles/sv_niu.dir/niu/niu.cpp.o.d"
+  "CMakeFiles/sv_niu.dir/niu/queues.cpp.o"
+  "CMakeFiles/sv_niu.dir/niu/queues.cpp.o.d"
+  "CMakeFiles/sv_niu.dir/niu/sbiu.cpp.o"
+  "CMakeFiles/sv_niu.dir/niu/sbiu.cpp.o.d"
+  "CMakeFiles/sv_niu.dir/niu/txu_rxu.cpp.o"
+  "CMakeFiles/sv_niu.dir/niu/txu_rxu.cpp.o.d"
+  "libsv_niu.a"
+  "libsv_niu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sv_niu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sv_shm.dir/shm/numa_region.cpp.o"
+  "CMakeFiles/sv_shm.dir/shm/numa_region.cpp.o.d"
+  "CMakeFiles/sv_shm.dir/shm/scoma_region.cpp.o"
+  "CMakeFiles/sv_shm.dir/shm/scoma_region.cpp.o.d"
+  "libsv_shm.a"
+  "libsv_shm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sv_shm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/config.cpp" "src/CMakeFiles/sv_sim.dir/sim/config.cpp.o" "gcc" "src/CMakeFiles/sv_sim.dir/sim/config.cpp.o.d"
+  "/root/repo/src/sim/event.cpp" "src/CMakeFiles/sv_sim.dir/sim/event.cpp.o" "gcc" "src/CMakeFiles/sv_sim.dir/sim/event.cpp.o.d"
+  "/root/repo/src/sim/kernel.cpp" "src/CMakeFiles/sv_sim.dir/sim/kernel.cpp.o" "gcc" "src/CMakeFiles/sv_sim.dir/sim/kernel.cpp.o.d"
+  "/root/repo/src/sim/logger.cpp" "src/CMakeFiles/sv_sim.dir/sim/logger.cpp.o" "gcc" "src/CMakeFiles/sv_sim.dir/sim/logger.cpp.o.d"
+  "/root/repo/src/sim/stats.cpp" "src/CMakeFiles/sv_sim.dir/sim/stats.cpp.o" "gcc" "src/CMakeFiles/sv_sim.dir/sim/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sv_sim.dir/sim/config.cpp.o"
+  "CMakeFiles/sv_sim.dir/sim/config.cpp.o.d"
+  "CMakeFiles/sv_sim.dir/sim/event.cpp.o"
+  "CMakeFiles/sv_sim.dir/sim/event.cpp.o.d"
+  "CMakeFiles/sv_sim.dir/sim/kernel.cpp.o"
+  "CMakeFiles/sv_sim.dir/sim/kernel.cpp.o.d"
+  "CMakeFiles/sv_sim.dir/sim/logger.cpp.o"
+  "CMakeFiles/sv_sim.dir/sim/logger.cpp.o.d"
+  "CMakeFiles/sv_sim.dir/sim/stats.cpp.o"
+  "CMakeFiles/sv_sim.dir/sim/stats.cpp.o.d"
+  "libsv_sim.a"
+  "libsv_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sv_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

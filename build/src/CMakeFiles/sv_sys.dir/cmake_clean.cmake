@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sv_sys.dir/sys/experiment.cpp.o"
+  "CMakeFiles/sv_sys.dir/sys/experiment.cpp.o.d"
+  "CMakeFiles/sv_sys.dir/sys/machine.cpp.o"
+  "CMakeFiles/sv_sys.dir/sys/machine.cpp.o.d"
+  "CMakeFiles/sv_sys.dir/sys/node.cpp.o"
+  "CMakeFiles/sv_sys.dir/sys/node.cpp.o.d"
+  "CMakeFiles/sv_sys.dir/sys/stats_dump.cpp.o"
+  "CMakeFiles/sv_sys.dir/sys/stats_dump.cpp.o.d"
+  "libsv_sys.a"
+  "libsv_sys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sv_sys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

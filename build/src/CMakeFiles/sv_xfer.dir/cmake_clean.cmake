@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sv_xfer.dir/xfer/approaches.cpp.o"
+  "CMakeFiles/sv_xfer.dir/xfer/approaches.cpp.o.d"
+  "CMakeFiles/sv_xfer.dir/xfer/sp_copy.cpp.o"
+  "CMakeFiles/sv_xfer.dir/xfer/sp_copy.cpp.o.d"
+  "libsv_xfer.a"
+  "libsv_xfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sv_xfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

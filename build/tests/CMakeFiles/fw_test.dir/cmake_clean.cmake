@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fw_test.dir/fw_test.cpp.o"
+  "CMakeFiles/fw_test.dir/fw_test.cpp.o.d"
+  "fw_test"
+  "fw_test.pdb"
+  "fw_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fw_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/niu_ctrl_test.dir/niu_ctrl_test.cpp.o"
+  "CMakeFiles/niu_ctrl_test.dir/niu_ctrl_test.cpp.o.d"
+  "niu_ctrl_test"
+  "niu_ctrl_test.pdb"
+  "niu_ctrl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/niu_ctrl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

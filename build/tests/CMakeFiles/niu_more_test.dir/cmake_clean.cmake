@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/niu_more_test.dir/niu_more_test.cpp.o"
+  "CMakeFiles/niu_more_test.dir/niu_more_test.cpp.o.d"
+  "niu_more_test"
+  "niu_more_test.pdb"
+  "niu_more_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/niu_more_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

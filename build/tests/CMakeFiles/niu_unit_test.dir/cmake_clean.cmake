@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/niu_unit_test.dir/niu_unit_test.cpp.o"
+  "CMakeFiles/niu_unit_test.dir/niu_unit_test.cpp.o.d"
+  "niu_unit_test"
+  "niu_unit_test.pdb"
+  "niu_unit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/niu_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

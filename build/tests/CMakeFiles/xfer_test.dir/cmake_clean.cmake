@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xfer_test.dir/xfer_test.cpp.o"
+  "CMakeFiles/xfer_test.dir/xfer_test.cpp.o.d"
+  "xfer_test"
+  "xfer_test.pdb"
+  "xfer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xfer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/mem_test[1]_include.cmake")
+include("/root/repo/build/tests/cache_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/niu_unit_test[1]_include.cmake")
+include("/root/repo/build/tests/niu_ctrl_test[1]_include.cmake")
+include("/root/repo/build/tests/endpoint_test[1]_include.cmake")
+include("/root/repo/build/tests/shm_test[1]_include.cmake")
+include("/root/repo/build/tests/fw_test[1]_include.cmake")
+include("/root/repo/build/tests/xfer_test[1]_include.cmake")
+include("/root/repo/build/tests/machine_test[1]_include.cmake")
+include("/root/repo/build/tests/ext_test[1]_include.cmake")
+include("/root/repo/build/tests/cpu_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/msg_test[1]_include.cmake")
+include("/root/repo/build/tests/stress_test[1]_include.cmake")
+include("/root/repo/build/tests/router_test[1]_include.cmake")
+include("/root/repo/build/tests/niu_more_test[1]_include.cmake")
+include("/root/repo/build/tests/sys_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
