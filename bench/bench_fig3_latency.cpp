@@ -18,6 +18,7 @@ void BM_Fig3_Latency(benchmark::State& state) {
   const auto len = static_cast<std::uint32_t>(state.range(1));
 
   sys::Machine machine(xfer_machine_params());
+  maybe_enable_tracing(machine);
   xfer::BlockTransferHarness harness(machine);
 
   sim::Tick total = 0;
@@ -37,6 +38,7 @@ void BM_Fig3_Latency(benchmark::State& state) {
   state.counters["approach"] = approach;
   state.SetBytesProcessed(static_cast<std::int64_t>(len) *
                           static_cast<std::int64_t>(runs));
+  maybe_write_trace(machine);
 }
 
 void Fig3Args(benchmark::internal::Benchmark* b) {
@@ -56,4 +58,13 @@ BENCHMARK(BM_Fig3_Latency)
 }  // namespace
 }  // namespace sv::bench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  sv::bench::parse_trace_flag(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -18,6 +18,7 @@ void BM_Fig4_Bandwidth(benchmark::State& state) {
   const auto len = static_cast<std::uint32_t>(state.range(1));
 
   sys::Machine machine(xfer_machine_params());
+  maybe_enable_tracing(machine);
   xfer::BlockTransferHarness harness(machine);
 
   sim::Tick total = 0;
@@ -38,6 +39,7 @@ void BM_Fig4_Bandwidth(benchmark::State& state) {
       static_cast<double>(len) * static_cast<double>(runs) /
       (static_cast<double>(total) * kPsToSec) / 1e6;
   state.counters["approach"] = approach;
+  maybe_write_trace(machine);
 }
 
 void Fig4Args(benchmark::internal::Benchmark* b) {
@@ -57,4 +59,13 @@ BENCHMARK(BM_Fig4_Bandwidth)
 }  // namespace
 }  // namespace sv::bench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  sv::bench::parse_trace_flag(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

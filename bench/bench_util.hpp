@@ -9,12 +9,52 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <string_view>
+
 #include "sys/experiment.hpp"
+#include "trace/chrome_sink.hpp"
 #include "xfer/approaches.hpp"
 
 namespace sv::bench {
 
 inline constexpr double kPsToSec = 1e-12;
+
+/// Trace output path from --trace=FILE; empty = tracing off (the default,
+/// which costs nothing on the simulation's instrumented paths).
+inline std::string g_trace_file;  // NOLINT(misc-definitions-in-headers)
+
+/// Strip a leading --trace=FILE from argv. Call before
+/// benchmark::Initialize, which rejects flags it does not know.
+inline void parse_trace_flag(int& argc, char** argv) {
+  int w = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    constexpr std::string_view kFlag = "--trace=";
+    if (arg.substr(0, kFlag.size()) == kFlag) {
+      g_trace_file = std::string(arg.substr(kFlag.size()));
+    } else {
+      argv[w++] = argv[i];
+    }
+  }
+  argc = w;
+}
+
+inline void maybe_enable_tracing(sys::Machine& machine) {
+  if (!g_trace_file.empty()) {
+    machine.enable_tracing();
+  }
+}
+
+/// Write the machine's trace to the --trace file. Benches build a fresh
+/// machine per benchmark case, so the last case's trace wins.
+inline void maybe_write_trace(sys::Machine& machine) {
+  if (!g_trace_file.empty() && machine.tracer() != nullptr) {
+    trace::write_chrome_trace_file(
+        *machine.tracer(), g_trace_file,
+        trace::ChromeWriteOptions{machine.kernel().now()});
+  }
+}
 
 inline sys::Machine::Params default_machine_params(std::size_t nodes = 2) {
   sys::Machine::Params p;

@@ -14,9 +14,21 @@ Processor::Processor(sim::Kernel& kernel, std::string name, mem::MemBus& bus,
       bus_id_(bus.attach(this)),
       mutex_(kernel, 1) {}
 
+void Processor::trace_busy(const char* what, sim::Tick start, sim::Tick end) {
+  trace::Tracer* tr = kernel_.tracer();
+  if (tr == nullptr || !tr->enabled() || end <= start) {
+    return;
+  }
+  if (trace_track_ == trace::kNoTrack) {
+    trace_track_ = tr->track_for(name(), "cpu");
+  }
+  tr->span(trace_track_, what, start, end);
+}
+
 sim::Co<void> Processor::work(sim::Cycles c) {
   const sim::Tick dur = params_.clock.to_ticks(c);
   busy_.add_busy(dur);
+  trace_busy("work", now(), now() + dur);
   co_await sim::delay(kernel_, dur);
 }
 
@@ -30,6 +42,7 @@ sim::Co<void> Processor::load(mem::Addr a, std::span<std::byte> out) {
   co_await cache_->read(a, out);
   ops_.inc();
   busy_.add_busy(now() - t0 - params_.clock.to_ticks(params_.op_overhead));
+  trace_busy("load", t0 + params_.clock.to_ticks(params_.op_overhead), now());
 }
 
 sim::Co<void> Processor::store(mem::Addr a, std::span<const std::byte> in) {
@@ -42,6 +55,8 @@ sim::Co<void> Processor::store(mem::Addr a, std::span<const std::byte> in) {
   co_await cache_->write(a, in);
   ops_.inc();
   busy_.add_busy(now() - t0 - params_.clock.to_ticks(params_.op_overhead));
+  trace_busy("store", t0 + params_.clock.to_ticks(params_.op_overhead),
+             now());
 }
 
 sim::Co<void> Processor::load_uncached(mem::Addr a,
@@ -63,6 +78,8 @@ sim::Co<void> Processor::load_uncached(mem::Addr a,
     co_await bus_.transact_retry(bus_id_, req);
     ops_.inc();
     busy_.add_busy(now() - t0 - params_.clock.to_ticks(params_.op_overhead));
+    trace_busy("load.u", t0 + params_.clock.to_ticks(params_.op_overhead),
+               now());
     done += n;
   }
 }
@@ -86,6 +103,8 @@ sim::Co<void> Processor::store_uncached(mem::Addr a,
     co_await bus_.transact_retry(bus_id_, req);
     ops_.inc();
     busy_.add_busy(now() - t0 - params_.clock.to_ticks(params_.op_overhead));
+    trace_busy("store.u", t0 + params_.clock.to_ticks(params_.op_overhead),
+               now());
     done += n;
   }
 }
@@ -97,6 +116,7 @@ sim::Co<void> Processor::flush_line(mem::Addr a) {
   const sim::Tick t0 = now();
   co_await cache_->flush_line(a);
   busy_.add_busy(now() - t0);
+  trace_busy("flush", t0, now());
 }
 
 sim::Co<void> Processor::flush_range(mem::Addr a, std::size_t len) {
@@ -106,6 +126,7 @@ sim::Co<void> Processor::flush_range(mem::Addr a, std::size_t len) {
   const sim::Tick t0 = now();
   co_await cache_->flush_range(a, len);
   busy_.add_busy(now() - t0);
+  trace_busy("flush", t0, now());
 }
 
 sim::Co<void> Processor::invalidate_line(mem::Addr a) {

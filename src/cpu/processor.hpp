@@ -95,6 +95,10 @@ class Processor : public sim::SimObject, public mem::BusDevice {
  private:
   class BusyScope;
 
+  /// Record a busy span mirroring a busy_.add_busy charge, so the trace
+  /// lane's occupancy equals busy()/now exactly.
+  void trace_busy(const char* what, sim::Tick start, sim::Tick end);
+
   Params params_;
   mem::MemBus& bus_;
   mem::SnoopingCache* cache_;
@@ -102,6 +106,7 @@ class Processor : public sim::SimObject, public mem::BusDevice {
   sim::Semaphore mutex_;
   sim::BusyTracker busy_;
   sim::Counter ops_;
+  trace::TrackId trace_track_ = trace::kNoTrack;
 };
 
 }  // namespace sv::cpu

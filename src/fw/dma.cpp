@@ -20,11 +20,13 @@ void DmaEngine::start() {
 sim::Co<void> DmaEngine::loop() {
   for (;;) {
     co_await wait_msg();
+    const sim::Tick h0 = now();
     co_await sp_.acquire();
     co_await sp_.work(costs_.dispatch);
     RxMsg msg = co_await read_msg();
     sp_.release();
     co_await handle(msg.as<DmaRequest>());
+    trace_handler("dma", h0);
   }
 }
 
@@ -35,6 +37,7 @@ sim::Co<void> DmaEngine::done_loop() {
     while (ctrl.rxq(q).empty()) {
       co_await ctrl.rx_arrival();
     }
+    const sim::Tick h0 = now();
     co_await sp_.acquire();
     co_await sp_.work(costs_.dispatch);
     auto& rq = ctrl.rxq(q);
@@ -46,6 +49,7 @@ sim::Co<void> DmaEngine::done_loop() {
     co_await sbiu_.rx_consumer_update(
         q, static_cast<std::uint16_t>(rq.consumer + 1));
     sp_.release();
+    trace_handler("dma.done", h0);
     completed_tags_.push_back(tag);
     done_seen_.pulse();
   }

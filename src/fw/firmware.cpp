@@ -12,6 +12,17 @@ FwService::FwService(sim::Kernel& kernel, std::string name,
       scratch_(scratch),
       costs_(costs) {}
 
+void FwService::trace_handler(const char* what, sim::Tick start) {
+  trace::Tracer* tr = kernel_.tracer();
+  if (tr == nullptr || !tr->enabled() || now() < start) {
+    return;
+  }
+  if (trace_track_ == trace::kNoTrack) {
+    trace_track_ = tr->track_for(name(), "fw");
+  }
+  tr->span(trace_track_, what, start, now());
+}
+
 bool FwService::has_msg() const {
   return !sbiu_.ctrl().rxq(hwq_).empty();
 }

@@ -24,6 +24,7 @@
 #include "cpu/processor.hpp"
 #include "niu/sbiu.hpp"
 #include "sim/coro.hpp"
+#include "trace/trace.hpp"
 
 namespace sv::fw {
 
@@ -105,12 +106,19 @@ class FwService : public sim::SimObject {
 
   [[nodiscard]] sim::NodeId node() const { return sbiu_.ctrl().node(); }
 
+  /// Record a trace span `what` covering [start, now] on this service's
+  /// lane (SimObject name, e.g. "n0.fw.dma"). No-op unless tracing.
+  void trace_handler(const char* what, sim::Tick start);
+
   cpu::Processor& sp_;
   niu::SBiu& sbiu_;
   unsigned hwq_;
   std::uint32_t scratch_;  // private sSRAM scratch area offset
   Costs costs_;
   sim::Counter events_;
+
+ private:
+  trace::TrackId trace_track_ = trace::kNoTrack;
 };
 
 }  // namespace sv::fw

@@ -17,6 +17,7 @@ void MissService::register_queue(net::QueueId logical, DramQueueDesc desc) {
 sim::Co<void> MissService::loop() {
   for (;;) {
     co_await wait_msg();
+    const sim::Tick h0 = now();
     co_await sp_.acquire();
     co_await sp_.work(costs_.dispatch);
     RxMsg msg = co_await read_msg();
@@ -25,6 +26,7 @@ sim::Co<void> MissService::loop() {
     if (it == queues_.end()) {
       unregistered_.inc();
       sp_.release();
+      trace_handler("miss.unregistered", h0);
       continue;
     }
     Entry& e = it->second;
@@ -37,6 +39,7 @@ sim::Co<void> MissService::loop() {
     if (e.producer - consumer >= e.desc.slots) {
       overflowed_.inc();
       sp_.release();
+      trace_handler("miss.overflow", h0);
       continue;
     }
 
@@ -52,6 +55,7 @@ sim::Co<void> MissService::loop() {
     std::memcpy(pword, &e.producer, 4);
     co_await write_ap(e.desc.base, pword);
     sp_.release();
+    trace_handler("miss.spill", h0);
   }
 }
 

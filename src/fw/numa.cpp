@@ -56,6 +56,7 @@ sim::Co<void> NumaEngine::client_loop() {
 }
 
 sim::Co<void> NumaEngine::handle_op(niu::FwdOp op) {
+  const sim::Tick h0 = now();
   co_await sp_.acquire();
   co_await sp_.work(costs_.dispatch + costs_.handler);
   const sim::NodeId home = home_of(op.addr);
@@ -93,11 +94,13 @@ sim::Co<void> NumaEngine::handle_op(niu::FwdOp op) {
     }
   }
   sp_.release();
+  trace_handler("numa.client", h0);
 }
 
 sim::Co<void> NumaEngine::home_loop() {
   for (;;) {
     co_await wait_msg();
+    const sim::Tick h0 = now();
     co_await sp_.acquire();
     co_await sp_.work(costs_.dispatch + costs_.handler);
     RxMsg rx = co_await read_msg();
@@ -119,6 +122,7 @@ sim::Co<void> NumaEngine::home_loop() {
       co_await write_ap(backing, data);
     }
     sp_.release();
+    trace_handler("numa.home", h0);
   }
 }
 
@@ -129,6 +133,7 @@ sim::Co<void> NumaEngine::reply_loop() {
     while (ctrl.rxq(q).empty()) {
       co_await ctrl.rx_arrival();
     }
+    const sim::Tick h0 = now();
     co_await sp_.acquire();
     co_await sp_.work(costs_.dispatch);
     auto& rq = ctrl.rxq(q);
@@ -149,6 +154,7 @@ sim::Co<void> NumaEngine::reply_loop() {
         buf + niu::kBasicHeaderBytes + sizeof(NumaMsg) + mem::kLineBytes);
     co_await sbiu_.immediate(std::move(supply));
     sp_.release();
+    trace_handler("numa.reply", h0);
   }
 }
 

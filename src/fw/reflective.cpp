@@ -19,6 +19,7 @@ sim::Co<void> ReflectiveEngine::loop() {
   auto& ops = sbiu_.abiu().reflect_ops();
   for (;;) {
     niu::FwdOp op = co_await ops.pop();
+    const sim::Tick h0 = now();
     co_await sp_.acquire();
     co_await sp_.work(costs_.dispatch + costs_.handler);
     for (const auto& peer : params_.peers) {
@@ -38,6 +39,7 @@ sim::Co<void> ReflectiveEngine::loop() {
     }
     events_.inc();
     sp_.release();
+    trace_handler("reflect", h0);
   }
 }
 

@@ -98,6 +98,7 @@ sim::Co<void> ScomaEngine::client_loop() {
   auto& ops = sbiu_.scoma_ops();
   for (;;) {
     niu::FwdOp op = co_await ops.pop();
+    const sim::Tick h0 = now();
     co_await sp_.acquire();
     co_await sp_.work(costs_.dispatch + costs_.handler);
     ScomaMsg msg;
@@ -112,6 +113,7 @@ sim::Co<void> ScomaEngine::client_loop() {
     }
     co_await send(home_of(op.addr), kScomaReqL, to_bytes(msg));
     sp_.release();
+    trace_handler("scoma.miss", h0);
   }
 }
 
@@ -122,6 +124,7 @@ sim::Co<void> ScomaEngine::demand_loop() {
     while (ctrl.rxq(q).empty()) {
       co_await ctrl.rx_arrival();
     }
+    const sim::Tick h0 = now();
     co_await sp_.acquire();
     co_await sp_.work(costs_.dispatch);
     auto& rq = ctrl.rxq(q);
@@ -186,6 +189,7 @@ sim::Co<void> ScomaEngine::demand_loop() {
         break;
     }
     sp_.release();
+    trace_handler("scoma.demand", h0);
   }
 }
 
@@ -194,11 +198,13 @@ sim::Co<void> ScomaEngine::demand_loop() {
 sim::Co<void> ScomaEngine::home_loop() {
   for (;;) {
     co_await wait_msg();
+    const sim::Tick h0 = now();
     co_await sp_.acquire();
     co_await sp_.work(costs_.dispatch);
     RxMsg rx = co_await read_msg();
     sp_.release();
     co_await serve_request(rx.as<ScomaMsg>());
+    trace_handler("scoma.home", h0);
   }
 }
 
@@ -380,6 +386,7 @@ void ChunkOpener::start() { sim::spawn(loop()); }
 sim::Co<void> ChunkOpener::loop() {
   for (;;) {
     co_await wait_msg();
+    const sim::Tick h0 = now();
     co_await sp_.acquire();
     co_await sp_.work(costs_.dispatch);
     RxMsg msg = co_await read_msg();
@@ -395,6 +402,7 @@ sim::Co<void> ChunkOpener::loop() {
     cmd.cls_bits = open_bits_;
     co_await sbiu_.immediate(std::move(cmd));
     sp_.release();
+    trace_handler("chunk.open", h0);
   }
 }
 

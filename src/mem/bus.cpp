@@ -53,6 +53,17 @@ int MemBus::attach(BusDevice* dev) {
   return static_cast<int>(devices_.size()) - 1;
 }
 
+trace::Tracer* MemBus::trace_target() {
+  trace::Tracer* tr = kernel_.tracer();
+  if (tr == nullptr || !tr->enabled()) {
+    return nullptr;
+  }
+  if (trace_track_ == trace::kNoTrack) {
+    trace_track_ = tr->track_for(name(), "bus");
+  }
+  return tr;
+}
+
 sim::Co<void> MemBus::wait_cycles(sim::Cycles c) {
   co_await sim::delay(kernel_, params_.clock.to_ticks(c));
 }
@@ -110,6 +121,10 @@ sim::Co<BusResult> MemBus::transact(int requester_id, BusRequest req) {
   if (retry) {
     stats_.retries.inc();
     res.retried = true;
+    if (trace::Tracer* tr = trace_target()) {
+      tr->instant(trace_track_,
+                  "ARTRY " + std::string(to_string(req.op)), now());
+    }
     co_return res;
   }
 
@@ -158,6 +173,11 @@ sim::Co<BusResult> MemBus::transact(int requester_id, BusRequest req) {
   co_await wait_cycles(latency + beats);
   stats_.data_beats.inc(beats);
   stats_.data_busy.add_busy(now() - data_start);
+  if (trace::Tracer* tr = trace_target()) {
+    // One span per data tenure: their sum is exactly data_busy, so trace
+    // occupancy reproduces the StatRegistry bus occupancy.
+    tr->span(trace_track_, std::string(to_string(req.op)), data_start, now());
+  }
 
   if (req.op == BusOp::kFlush) {
     // The dirty owner pushes the line back to memory.

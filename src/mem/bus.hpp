@@ -24,6 +24,7 @@
 #include "sim/kernel.hpp"
 #include "sim/stats.hpp"
 #include "sim/types.hpp"
+#include "trace/trace.hpp"
 
 namespace sv::mem {
 
@@ -169,12 +170,14 @@ class MemBus : public sim::SimObject {
  private:
   sim::Co<void> wait_cycles(sim::Cycles c);
   sim::Co<void> align_to_edge();
+  [[nodiscard]] trace::Tracer* trace_target();
 
   Params params_;
   std::vector<BusDevice*> devices_;
   sim::Semaphore addr_bus_;
   sim::Semaphore data_bus_;
   BusStats stats_;
+  trace::TrackId trace_track_ = trace::kNoTrack;
 };
 
 }  // namespace sv::mem

@@ -181,7 +181,10 @@ sim::Co<void> FatTreeNetwork::inject(Packet pkt) {
     throw std::out_of_range(name() + ": bad destination node");
   }
   pkt.inject_time = now();
-  pkt.serial = next_serial_++;
+  if (pkt.serial == 0) {
+    // A tracing NIU already stamped a flow id; otherwise number here.
+    pkt.serial = next_serial_++;
+  }
   co_await inject_links_[pkt.src]->send(std::move(pkt));
 }
 

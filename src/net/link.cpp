@@ -31,6 +31,13 @@ sim::Co<void> Link::send(Packet pkt) {
   packets_.inc();
   bytes_.inc(pkt.wire_bytes());
   co_await sim::delay(kernel_, ser);
+  if (trace::Tracer* tr = kernel_.tracer(); tr != nullptr && tr->enabled()) {
+    if (trace_track_ == trace::kNoTrack) {
+      trace_track_ = tr->track_for(name(), "link");
+    }
+    tr->span(trace_track_, "pkt>n" + std::to_string(pkt.dest), now() - ser,
+             now(), pkt.serial);
+  }
   wire_.release();
 
   // Propagate: the packet arrives at the far end after the wire delay.

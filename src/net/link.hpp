@@ -19,6 +19,7 @@
 #include "sim/coro.hpp"
 #include "sim/kernel.hpp"
 #include "sim/stats.hpp"
+#include "trace/trace.hpp"
 
 namespace sv::net {
 
@@ -68,6 +69,7 @@ class Link : public sim::SimObject {
   sim::Counter packets_;
   sim::Counter bytes_;
   sim::BusyTracker busy_;
+  trace::TrackId trace_track_ = trace::kNoTrack;
 };
 
 }  // namespace sv::net

@@ -25,14 +25,24 @@ sim::Co<void> IdealNetwork::inject(Packet pkt) {
   }
   assert(endpoints_[pkt.dest] && "destination endpoint not attached");
   pkt.inject_time = now();
-  pkt.serial = next_serial_++;
+  if (pkt.serial == 0) {
+    pkt.serial = next_serial_++;
+  }
 
   auto& port = *inject_ports_[pkt.src];
   co_await port.acquire();
   const sim::Cycles ser_cycles =
       (pkt.wire_bytes() + params_.bytes_per_cycle - 1) /
       params_.bytes_per_cycle;
+  const sim::Tick ser_start = now();
   co_await sim::delay(kernel_, params_.link_clock.to_ticks(ser_cycles));
+  if (trace::Tracer* tr = kernel_.tracer(); tr != nullptr && tr->enabled()) {
+    if (trace_track_ == trace::kNoTrack) {
+      trace_track_ = tr->track_for(name() + ".wire", "link");
+    }
+    tr->span(trace_track_, "pkt>n" + std::to_string(pkt.dest), ser_start,
+             now(), pkt.serial);
+  }
   port.release();
 
   kernel_.schedule(params_.latency, [this, p = std::move(pkt)]() mutable {

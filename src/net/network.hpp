@@ -12,6 +12,7 @@
 #include "sim/coro.hpp"
 #include "sim/kernel.hpp"
 #include "sim/stats.hpp"
+#include "trace/trace.hpp"
 
 namespace sv::net {
 
@@ -46,7 +47,9 @@ class Network : public sim::SimObject {
     transit_.sample(now() - pkt.inject_time);
   }
 
-  std::uint64_t next_serial_ = 0;
+  // Serial 0 is reserved: it means "no flow id assigned yet", and a
+  // tracing NIU stamps its own flow ids before injection.
+  std::uint64_t next_serial_ = 1;
 
  private:
   sim::Counter delivered_;
@@ -78,6 +81,7 @@ class IdealNetwork final : public Network {
   Params params_;
   std::vector<Deliver> endpoints_;
   std::vector<std::unique_ptr<sim::Semaphore>> inject_ports_;
+  trace::TrackId trace_track_ = trace::kNoTrack;
 };
 
 }  // namespace sv::net

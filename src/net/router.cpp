@@ -84,8 +84,17 @@ sim::Co<void> Router::output_process(unsigned out) {
       port.upstream->return_credit(prio);
     }
 
+    const sim::Tick route_start = now();
     co_await sim::delay(kernel_,
                         params_.clock.to_ticks(params_.fall_through_cycles));
+    if (trace::Tracer* tr = kernel_.tracer();
+        tr != nullptr && tr->enabled()) {
+      if (trace_track_ == trace::kNoTrack) {
+        trace_track_ = tr->track_for(name(), "router");
+      }
+      tr->span(trace_track_, "route out" + std::to_string(out), route_start,
+               now(), pkt.serial);
+    }
     co_await link->send(std::move(pkt));
     routed_.inc();
   }

@@ -73,6 +73,7 @@ class Router : public sim::SimObject {
   sim::Signal work_;
   sim::Counter routed_;
   bool started_ = false;
+  trace::TrackId trace_track_ = trace::kNoTrack;
 };
 
 }  // namespace sv::net

@@ -43,6 +43,7 @@ sim::Co<void> BlockEngines::read_chunk(const Command& cmd, mem::Addr addr,
                                        std::uint32_t len) {
   // Stream DRAM lines into SRAM with the line read and the IBus write of
   // the previous line overlapped (the engine is pipelined in hardware).
+  const sim::Tick chunk_start = ctrl_.now();
   unsigned pending = 0;
   sim::Signal done(ctrl_.kernel());
   for (std::uint32_t off = 0; off < len; off += mem::kLineBytes) {
@@ -62,12 +63,17 @@ sim::Co<void> BlockEngines::read_chunk(const Command& cmd, mem::Addr addr,
   while (pending != 0) {
     co_await done;
   }
+  if (trace::Tracer* tr = ctrl_.tracing()) {
+    tr->span(ctrl_.trace_lane(read_track_, "NIU.BlkRd", "niu"),
+             "read " + std::to_string(len) + "B", chunk_start, ctrl_.now());
+  }
 }
 
 sim::Co<void> BlockEngines::tx_chunk(const Command& cmd,
                                      std::uint32_t sram_offset,
                                      mem::Addr dest_addr, std::uint32_t len,
                                      bool last) {
+  const sim::Tick chunk_start = ctrl_.now();
   for (std::uint32_t off = 0; off < len; off += kWireChunk) {
     const std::uint32_t n = std::min(kWireChunk, len - off);
     Command wr;
@@ -88,6 +94,10 @@ sim::Co<void> BlockEngines::tx_chunk(const Command& cmd,
     pkt.priority = cmd.priority;
     pkt.payload = encode_remote(wr);
     co_await ctrl_.inject(std::move(pkt));
+  }
+  if (trace::Tracer* tr = ctrl_.tracing()) {
+    tr->span(ctrl_.trace_lane(tx_track_, "NIU.BlkTx", "niu"),
+             "tx " + std::to_string(len) + "B", chunk_start, ctrl_.now());
   }
 
   if (last && cmd.remote_notify) {

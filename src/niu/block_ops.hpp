@@ -11,6 +11,7 @@
 #include "niu/command.hpp"
 #include "sim/coro.hpp"
 #include "sim/stats.hpp"
+#include "trace/trace.hpp"
 
 namespace sv::niu {
 
@@ -60,6 +61,8 @@ class BlockEngines {
   sim::Semaphore tx_unit_;
   unsigned outstanding_ = 0;
   sim::Signal drained_;
+  trace::TrackId read_track_ = trace::kNoTrack;
+  trace::TrackId tx_track_ = trace::kNoTrack;
 };
 
 }  // namespace sv::niu

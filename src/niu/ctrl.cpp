@@ -8,6 +8,31 @@
 
 namespace sv::niu {
 
+namespace {
+
+const char* cmd_name(CmdOp op) {
+  switch (op) {
+    case CmdOp::kWriteSram: return "WriteSram";
+    case CmdOp::kWriteApDram: return "WriteApDram";
+    case CmdOp::kReadApDram: return "ReadApDram";
+    case CmdOp::kSendMessage: return "SendMessage";
+    case CmdOp::kWriteClsState: return "WriteClsState";
+    case CmdOp::kBusKill: return "BusKill";
+    case CmdOp::kBusFlush: return "BusFlush";
+    case CmdOp::kSupplyLoad: return "SupplyLoad";
+    case CmdOp::kBlockRead: return "BlockRead";
+    case CmdOp::kBlockTx: return "BlockTx";
+    case CmdOp::kBlockXfer: return "BlockXfer";
+    case CmdOp::kBlockDiffTx: return "BlockDiffTx";
+    case CmdOp::kCopySram: return "CopySram";
+    case CmdOp::kNotifyLocal: return "NotifyLocal";
+    case CmdOp::kWriteReg: return "WriteReg";
+  }
+  return "Cmd?";
+}
+
+}  // namespace
+
 Ctrl::Ctrl(sim::Kernel& kernel, std::string name, sim::NodeId node,
            Params params, mem::DualPortedSram& asram,
            mem::DualPortedSram& ssram, mem::ClsSram& cls)
@@ -31,6 +56,61 @@ Ctrl::Ctrl(sim::Kernel& kernel, std::string name, sim::NodeId node,
   }
   remote_cmds_ = std::make_unique<sim::Channel<Command>>(kernel);
   blocks_ = std::make_unique<BlockEngines>(*this);
+  txq_depth_track_.fill(trace::kNoTrack);
+  rxq_depth_track_.fill(trace::kNoTrack);
+  rxq_res_track_.fill(trace::kNoTrack);
+}
+
+// --- Tracing -----------------------------------------------------------------
+
+trace::Tracer* Ctrl::tracing() const {
+  trace::Tracer* tr = kernel_.tracer();
+  return (tr != nullptr && tr->enabled()) ? tr : nullptr;
+}
+
+trace::TrackId Ctrl::trace_lane(trace::TrackId& cache, std::string lane,
+                                std::string_view category,
+                                bool counter) const {
+  if (cache == trace::kNoTrack) {
+    const std::string& n = name();
+    const std::string_view process =
+        std::string_view(n).substr(0, n.find('.'));
+    cache = kernel_.tracer()->track(process, lane, category, counter);
+  }
+  return cache;
+}
+
+void Ctrl::trace_tx_depth(unsigned q) {
+  if (trace::Tracer* tr = tracing()) {
+    tr->counter(trace_lane(txq_depth_track_[q],
+                           "txq" + std::to_string(q), "queue",
+                           /*counter=*/true),
+                now(), txq_[q].occupancy());
+  }
+}
+
+void Ctrl::trace_rx_depth(unsigned q) {
+  if (trace::Tracer* tr = tracing()) {
+    tr->counter(trace_lane(rxq_depth_track_[q],
+                           "rxq" + std::to_string(q), "queue",
+                           /*counter=*/true),
+                now(), rxq_[q].occupancy());
+  }
+}
+
+void Ctrl::trace_rx_consumed(unsigned q, unsigned count) {
+  auto& resident = rx_resident_[q];
+  trace::Tracer* tr = tracing();
+  while (count > 0 && !resident.empty()) {
+    const RxResident r = resident.front();
+    resident.pop_front();
+    --count;
+    if (tr != nullptr) {
+      tr->span(trace_lane(rxq_res_track_[q],
+                          "rxq" + std::to_string(q) + ".res", "queue"),
+               "resident", r.since, now(), r.flow);
+    }
+  }
 }
 
 Ctrl::~Ctrl() = default;
@@ -61,6 +141,10 @@ sim::Co<void> Ctrl::ibus_access(SramBank bank, std::uint32_t bytes) {
   const sim::Tick t0 = now();
   co_await sram(bank).access(mem::DualPortedSram::Port::kIBus, bytes);
   stats_.ibus_busy.add_busy(now() - t0);
+  if (trace::Tracer* tr = tracing()) {
+    // Span sum mirrors ibus_busy exactly (the semaphore prevents overlap).
+    tr->span(trace_lane(ibus_track_, "NIU.IBus", "niu"), "ibus", t0, now());
+  }
   ibus_.release();
 }
 
@@ -85,6 +169,7 @@ void Ctrl::tx_producer_update(unsigned q, std::uint16_t value) {
     return;
   }
   t.producer = value;
+  trace_tx_depth(q);
   tx_work_.pulse();
 }
 
@@ -98,6 +183,8 @@ void Ctrl::rx_consumer_update(unsigned q, std::uint16_t value) {
     return;  // bogus update: ignore (cannot free slots that are not used)
   }
   r.consumer = value;
+  trace_rx_consumed(q, advance);
+  trace_rx_depth(q);
   queue_space_.pulse();
 }
 
@@ -116,6 +203,7 @@ sim::Co<void> Ctrl::express_tx_push(unsigned q, std::uint64_t entry) {
   sram(t.bank).write_scalar<std::uint64_t>(slot, entry);
   ++t.producer;
   stats_.express_pushed.inc();
+  trace_tx_depth(q);
   tx_work_.pulse();
 }
 
@@ -128,6 +216,8 @@ std::uint64_t Ctrl::express_rx_pop(unsigned q) {
   const auto entry = sram(r.bank).read_scalar<std::uint64_t>(slot);
   ++r.consumer;
   stats_.express_popped.inc();
+  trace_rx_consumed(q, 1);
+  trace_rx_depth(q);
   queue_space_.pulse();
   return entry;
 }
@@ -182,6 +272,7 @@ sim::Co<void> Ctrl::tx_launch(unsigned q) {
   if (!t.enabled || t.shutdown || t.empty()) {
     co_return;
   }
+  const sim::Tick launch_start = now();
   const std::uint32_t slot = t.slot_addr(t.consumer);
   net::Packet pkt;
   pkt.src = node_;
@@ -262,14 +353,36 @@ sim::Co<void> Ctrl::tx_launch(unsigned q) {
   co_await inject(std::move(pkt));
   stats_.msgs_launched.inc();
   ++t.consumer;
+  if (trace::Tracer* tr = tracing()) {
+    tr->span(trace_lane(txu_track_, "NIU.TxU", "niu"),
+             "launch q" + std::to_string(q), launch_start, now());
+  }
+  trace_tx_depth(q);
   co_await write_shadow(tx_consumer_shadow(q), t.consumer);
   queue_space_.pulse();
 }
 
 sim::Co<void> Ctrl::inject(net::Packet pkt) {
+  trace::Tracer* tr = tracing();
+  sim::Tick t0 = 0;
+  std::uint64_t flow = 0;
+  if (tr != nullptr) {
+    // All NIU-originated packets funnel through here: assign the flow id
+    // that links this send to its link/router/deliver hops downstream.
+    if (pkt.serial == 0) {
+      pkt.serial = tr->next_flow();
+    }
+    flow = pkt.serial;
+    t0 = now();
+  }
+  const sim::NodeId dest = pkt.dest;
   co_await net_port_.acquire();
   co_await network_->inject(std::move(pkt));
   net_port_.release();
+  if (tr != nullptr) {
+    tr->span(trace_lane(inject_track_, "NIU.inject", "niu"),
+             "inject>n" + std::to_string(dest), t0, now(), flow);
+  }
 }
 
 // --- Receive path ----------------------------------------------------------------------
@@ -284,7 +397,8 @@ int Ctrl::rx_lookup(net::QueueId logical) const {
 }
 
 sim::Co<void> Ctrl::rx_enqueue(unsigned qidx, const RxDescriptor& desc,
-                               std::span<const std::byte> data) {
+                               std::span<const std::byte> data,
+                               std::uint64_t flow) {
   RxQueueState& r = rxq_.at(qidx);
   assert(!r.full());
   const std::uint32_t slot = r.slot_addr(r.producer);
@@ -315,6 +429,10 @@ sim::Co<void> Ctrl::rx_enqueue(unsigned qidx, const RxDescriptor& desc,
     }
   }
   ++r.producer;
+  if (tracing() != nullptr && flow != 0) {
+    rx_resident_[qidx].push_back(RxResident{flow, now()});
+  }
+  trace_rx_depth(qidx);
   co_await write_shadow(rx_producer_shadow(qidx), r.producer);
   if (r.interrupt_on_arrival) {
     raise_interrupt(kIntrRxArrival);
@@ -342,6 +460,15 @@ sim::Co<bool> Ctrl::divert_to_miss() {
 
 sim::Co<void> Ctrl::rx_deliver(net::Packet pkt) {
   stats_.msgs_received.inc();
+  const sim::Tick rx_start = now();
+  const std::uint64_t flow = pkt.serial;
+  trace::Tracer* tr = tracing();
+  const auto rx_span = [&](const char* what) {
+    if (tr != nullptr) {
+      tr->span(trace_lane(rxu_track_, "NIU.RxU", "niu"), what, rx_start,
+               now(), flow);
+    }
+  };
 
   if (pkt.dest_queue == net::kRemoteCmdQueue) {
     try {
@@ -352,6 +479,7 @@ sim::Co<void> Ctrl::rx_deliver(net::Packet pkt) {
       log_.warn("dropped malformed remote command packet from node ",
                 pkt.src);
     }
+    rx_span("rx cmd");
     co_return;
   }
 
@@ -367,9 +495,11 @@ sim::Co<void> Ctrl::rx_deliver(net::Packet pkt) {
     const bool ok = co_await divert_to_miss();
     if (!ok) {
       stats_.rx_dropped.inc();
+      rx_span("rx drop");
       co_return;
     }
-    co_await rx_enqueue(kMissRxQueue, desc, pkt.payload);
+    co_await rx_enqueue(kMissRxQueue, desc, pkt.payload, flow);
+    rx_span("rx miss");
     co_return;
   }
 
@@ -378,6 +508,7 @@ sim::Co<void> Ctrl::rx_deliver(net::Packet pkt) {
     switch (r.full_policy) {
       case RxFullPolicy::kDrop:
         stats_.rx_dropped.inc();
+        rx_span("rx drop");
         co_return;
       case RxFullPolicy::kDivert: {
         stats_.rx_misses.inc();
@@ -386,9 +517,11 @@ sim::Co<void> Ctrl::rx_deliver(net::Packet pkt) {
                         co_await divert_to_miss();
         if (!ok) {
           stats_.rx_dropped.inc();
+          rx_span("rx drop");
           co_return;
         }
-        co_await rx_enqueue(kMissRxQueue, desc, pkt.payload);
+        co_await rx_enqueue(kMissRxQueue, desc, pkt.payload, flow);
+        rx_span("rx miss");
         co_return;
       }
       case RxFullPolicy::kHold: {
@@ -405,7 +538,8 @@ sim::Co<void> Ctrl::rx_deliver(net::Packet pkt) {
     }
   }
   stats_.rx_hits.inc();
-  co_await rx_enqueue(static_cast<unsigned>(qi), desc, pkt.payload);
+  co_await rx_enqueue(static_cast<unsigned>(qi), desc, pkt.payload, flow);
+  rx_span("rx");
 }
 
 sim::Co<void> Ctrl::notify_local(net::QueueId logical,
@@ -461,8 +595,14 @@ sim::Co<void> Ctrl::command_loop(sim::Channel<Command>& chan,
       blocks_->begin_op();
       sim::spawn(run_block_command(std::move(cmd)));
     } else {
+      const sim::Tick exec_start = now();
+      const CmdOp op = cmd.op;
       co_await execute(cmd);
       co_await finish_command(cmd);
+      if (trace::Tracer* tr = tracing()) {
+        tr->span(trace_lane(cmd_track_, "NIU.CTRL", "niu"), cmd_name(op),
+                 exec_start, now());
+      }
     }
     --cmds_in_flight_;
     cmd_progress_.pulse();
@@ -473,6 +613,8 @@ sim::Co<void> Ctrl::command_loop(sim::Channel<Command>& chan,
 }
 
 sim::Co<void> Ctrl::run_block_command(Command cmd) {
+  const sim::Tick block_start = now();
+  const CmdOp op = cmd.op;
   switch (cmd.op) {
     case CmdOp::kBlockRead:
       stats_.block_reads.inc();
@@ -494,6 +636,10 @@ sim::Co<void> Ctrl::run_block_command(Command cmd) {
       assert(false);
   }
   co_await finish_command(cmd);
+  if (trace::Tracer* tr = tracing()) {
+    tr->span(trace_lane(cmd_track_, "NIU.CTRL", "niu"), cmd_name(op),
+             block_start, now());
+  }
   blocks_->end_op();
   cmd_progress_.pulse();
   if (commands_idle()) {

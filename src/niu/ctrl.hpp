@@ -17,6 +17,7 @@
 #pragma once
 
 #include <array>
+#include <deque>
 #include <memory>
 #include <optional>
 
@@ -30,6 +31,7 @@
 #include "sim/kernel.hpp"
 #include "sim/logger.hpp"
 #include "sim/stats.hpp"
+#include "trace/trace.hpp"
 
 namespace sv::niu {
 
@@ -211,8 +213,21 @@ class Ctrl : public sim::SimObject {
   /// Returns false when the message must be dropped.
   sim::Co<bool> divert_to_miss();
   sim::Co<void> rx_enqueue(unsigned qidx, const RxDescriptor& desc,
-                           std::span<const std::byte> data);
+                           std::span<const std::byte> data,
+                           std::uint64_t flow = 0);
   [[nodiscard]] int rx_lookup(net::QueueId logical) const;
+
+  // --- Tracing helpers (no-ops when no tracer is attached) -------------------
+  /// The kernel's tracer when tracing is on, else nullptr.
+  [[nodiscard]] trace::Tracer* tracing() const;
+  /// Lazily register a lane under this NIU's node process ("n0").
+  trace::TrackId trace_lane(trace::TrackId& cache, std::string lane,
+                            std::string_view category,
+                            bool counter = false) const;
+  void trace_tx_depth(unsigned q);
+  void trace_rx_depth(unsigned q);
+  /// Close residency spans for `count` consumed slots of rx queue q.
+  void trace_rx_consumed(unsigned q, unsigned count);
 
   sim::NodeId node_;
   Params params_;
@@ -247,6 +262,21 @@ class Ctrl : public sim::SimObject {
   CtrlStats stats_;
   sim::Logger log_;
   bool started_ = false;
+
+  // Trace lanes (lazily registered; kNoTrack until first use).
+  mutable trace::TrackId ibus_track_ = trace::kNoTrack;
+  mutable trace::TrackId txu_track_ = trace::kNoTrack;
+  mutable trace::TrackId rxu_track_ = trace::kNoTrack;
+  mutable trace::TrackId inject_track_ = trace::kNoTrack;
+  mutable trace::TrackId cmd_track_ = trace::kNoTrack;
+  mutable std::array<trace::TrackId, kNumTxQueues> txq_depth_track_;
+  mutable std::array<trace::TrackId, kNumRxQueues> rxq_depth_track_;
+  mutable std::array<trace::TrackId, kNumRxQueues> rxq_res_track_;
+  struct RxResident {
+    std::uint64_t flow;
+    sim::Tick since;
+  };
+  std::array<std::deque<RxResident>, kNumRxQueues> rx_resident_;
 };
 
 }  // namespace sv::niu

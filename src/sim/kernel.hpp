@@ -12,6 +12,10 @@
 #include "sim/event.hpp"
 #include "sim/types.hpp"
 
+namespace sv::trace {
+class Tracer;
+}  // namespace sv::trace
+
 namespace sv::sim {
 
 class Kernel {
@@ -54,11 +58,18 @@ class Kernel {
   /// 0 disables the cap.
   void set_event_limit(std::uint64_t limit) { event_limit_ = limit; }
 
+  /// Timeline tracer, or nullptr when tracing is off. Instrumentation
+  /// sites must treat nullptr as "record nothing" — that null check is the
+  /// entire disabled-path cost.
+  [[nodiscard]] trace::Tracer* tracer() const { return tracer_; }
+  void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
+
  private:
   EventQueue events_;
   Tick now_ = 0;
   std::uint64_t executed_ = 0;
   std::uint64_t event_limit_ = 0;
+  trace::Tracer* tracer_ = nullptr;
 };
 
 /// Base class for named simulated components.

@@ -1,7 +1,9 @@
 #include "sim/stats.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
+#include <cstdio>
 
 namespace sv::sim {
 
@@ -19,13 +21,20 @@ std::uint64_t Histogram::percentile(double p) const {
   if (acc_.count() == 0) {
     return 0;
   }
+  p = std::clamp(p, 0.0, 100.0);
+  if (p <= 0.0) {
+    return min();
+  }
   const auto target = static_cast<std::uint64_t>(
       std::ceil(p / 100.0 * static_cast<double>(acc_.count())));
   std::uint64_t seen = 0;
   for (std::size_t i = 0; i < buckets_.size(); ++i) {
     seen += buckets_[i];
     if (seen >= target) {
-      return i == 0 ? 1 : (std::uint64_t{1} << i);
+      // Bucket i spans [2^(i-1), 2^i); clamp its upper bound to the
+      // observed sample range so exact values round-trip.
+      const std::uint64_t bound = i == 0 ? 1 : (std::uint64_t{1} << i);
+      return std::clamp(bound, min(), max());
     }
   }
   return max();
@@ -35,6 +44,33 @@ void StatRegistry::dump(std::ostream& os) const {
   for (const auto& [name, value] : values_) {
     os << name << " = " << value << '\n';
   }
+}
+
+void StatRegistry::dump_json(std::ostream& os) const {
+  os << "{\n";
+  bool first = true;
+  for (const auto& [name, value] : values_) {
+    if (!first) {
+      os << ",\n";
+    }
+    first = false;
+    os << "  \"";
+    for (const char c : name) {
+      if (c == '"' || c == '\\') {
+        os << '\\';
+      }
+      os << c;
+    }
+    os << "\": ";
+    if (std::isfinite(value)) {
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "%.17g", value);
+      os << buf;
+    } else {
+      os << "null";  // JSON has no inf/nan literals
+    }
+  }
+  os << "\n}\n";
 }
 
 }  // namespace sv::sim

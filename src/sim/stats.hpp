@@ -118,6 +118,8 @@ class StatRegistry {
   }
 
   void dump(std::ostream& os) const;
+  /// Dump as a flat JSON object {"dotted.name": value, ...}.
+  void dump_json(std::ostream& os) const;
   void clear() { values_.clear(); }
 
  private:

@@ -31,4 +31,13 @@ Machine::Machine(Params params) : params_(params) {
   }
 }
 
+trace::Tracer& Machine::enable_tracing(std::size_t capacity) {
+  if (tracer_ == nullptr) {
+    tracer_ = std::make_unique<trace::Tracer>(capacity);
+    kernel_.set_tracer(tracer_.get());
+  }
+  tracer_->set_enabled(true);
+  return *tracer_;
+}
+
 }  // namespace sv::sys

@@ -8,6 +8,7 @@
 #include "net/fat_tree.hpp"
 #include "net/network.hpp"
 #include "sys/node.hpp"
+#include "trace/trace.hpp"
 
 namespace sv::sys {
 
@@ -35,11 +36,20 @@ class Machine {
   }
   [[nodiscard]] const Params& params() const { return params_; }
 
+  /// Attach a tracer to the kernel and enable it. All instrumented units
+  /// start recording from the current simulation time. Idempotent.
+  trace::Tracer& enable_tracing(
+      std::size_t capacity = trace::Tracer::kDefaultCapacity);
+
+  /// The attached tracer, or nullptr if enable_tracing was never called.
+  [[nodiscard]] trace::Tracer* tracer() { return tracer_.get(); }
+
  private:
   Params params_;
   sim::Kernel kernel_;
   std::unique_ptr<net::Network> network_;
   std::vector<std::unique_ptr<Node>> nodes_;
+  std::unique_ptr<trace::Tracer> tracer_;
 };
 
 }  // namespace sv::sys

@@ -122,4 +122,8 @@ void dump_stats(Machine& machine, std::ostream& os) {
   collect_stats(machine).dump(os);
 }
 
+void dump_stats_json(Machine& machine, std::ostream& os) {
+  collect_stats(machine).dump_json(os);
+}
+
 }  // namespace sv::sys

@@ -17,4 +17,7 @@ namespace sv::sys {
 /// collect_stats + formatted print.
 void dump_stats(Machine& machine, std::ostream& os);
 
+/// collect_stats + flat JSON object print.
+void dump_stats_json(Machine& machine, std::ostream& os);
+
 }  // namespace sv::sys

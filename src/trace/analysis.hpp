@@ -1,0 +1,71 @@
+// Reads a Chrome trace-event JSON file back and computes the summaries
+// svtrace prints: per-unit occupancy, the longest spans, and per-message
+// (flow) end-to-end latency broken down by track category.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sv::trace {
+
+struct AnalyzedSpan {
+  std::size_t track = 0;     // index into TraceAnalysis::tracks
+  std::uint64_t ts_ps = 0;   // start
+  std::uint64_t dur_ps = 0;
+  std::uint64_t flow = 0;    // 0 = none
+  std::string name;
+};
+
+struct AnalyzedTrack {
+  std::string process;  // "n0"
+  std::string name;     // "bus"
+  std::string category;
+  bool has_counter = false;
+  std::uint64_t busy_ps = 0;  // union of span intervals (overlap merged)
+  std::uint64_t spans = 0;
+  [[nodiscard]] std::string full_name() const { return process + "." + name; }
+};
+
+struct FlowSummary {
+  std::uint64_t id = 0;
+  std::uint64_t start_ps = 0;
+  std::uint64_t end_ps = 0;
+  std::uint64_t hops = 0;
+  /// Span time attributed to each track category ("niu", "link", ...).
+  std::map<std::string, std::uint64_t> by_category_ps;
+  [[nodiscard]] std::uint64_t latency_ps() const { return end_ps - start_ps; }
+};
+
+class TraceAnalysis {
+ public:
+  /// Parse a Chrome trace document. Throws std::runtime_error on malformed
+  /// JSON or a document without a traceEvents array.
+  static TraceAnalysis parse(std::istream& is);
+  static TraceAnalysis parse_text(const std::string& text);
+
+  std::vector<AnalyzedTrack> tracks;
+  std::vector<AnalyzedSpan> spans;
+  std::uint64_t counter_samples = 0;
+  std::uint64_t counter_tracks = 0;
+  std::uint64_t sim_now_ps = 0;  // from otherData; 0 when absent
+  std::uint64_t dropped = 0;
+
+  /// End of the latest span/counter event (fallback occupancy denominator).
+  [[nodiscard]] std::uint64_t span_end_ps() const;
+  /// sim_now_ps when present, else span_end_ps().
+  [[nodiscard]] std::uint64_t duration_ps() const;
+
+  /// Occupancy fraction for one track (busy / duration).
+  [[nodiscard]] double occupancy(std::size_t track) const;
+
+  /// The n longest spans, longest first.
+  [[nodiscard]] std::vector<AnalyzedSpan> longest(std::size_t n) const;
+
+  /// Per-flow summaries, in flow-id order.
+  [[nodiscard]] std::vector<FlowSummary> flows() const;
+};
+
+}  // namespace sv::trace

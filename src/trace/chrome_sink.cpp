@@ -1,0 +1,158 @@
+#include "trace/chrome_sink.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+#include "trace/json.hpp"
+
+namespace sv::trace {
+
+namespace {
+
+/// Picoseconds -> microseconds with full precision (1 ps = 1e-6 us).
+std::string us(sim::Tick t) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64 ".%06" PRIu64,
+                static_cast<std::uint64_t>(t) / 1000000,
+                static_cast<std::uint64_t>(t) % 1000000);
+  return buf;
+}
+
+std::string fmt_value(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+struct TrackAddr {
+  int pid = 0;
+  int tid = 0;
+};
+
+}  // namespace
+
+void write_chrome_trace(const Tracer& tracer, std::ostream& os,
+                        const ChromeWriteOptions& options) {
+  // Assign pids per process (in registration order) and tids per lane.
+  std::map<std::string, int> pids;
+  std::vector<TrackAddr> addr(tracer.tracks().size());
+  std::map<int, int> next_tid;
+  for (std::size_t i = 0; i < tracer.tracks().size(); ++i) {
+    const TrackInfo& t = tracer.tracks()[i];
+    auto [it, fresh] = pids.emplace(t.process, static_cast<int>(pids.size()) + 1);
+    (void)fresh;
+    addr[i].pid = it->second;
+    addr[i].tid = ++next_tid[it->second];
+  }
+
+  os << "{\"displayTimeUnit\":\"ns\",\"otherData\":{"
+     << "\"sim_now_ps\":" << options.sim_now
+     << ",\"recorded\":" << tracer.recorded()
+     << ",\"dropped\":" << tracer.dropped() << "},\"traceEvents\":[\n";
+
+  bool first = true;
+  const auto sep = [&]() -> std::ostream& {
+    if (!first) {
+      os << ",\n";
+    }
+    first = false;
+    return os;
+  };
+
+  // Metadata: name every process and lane, even lanes with no events (the
+  // full machine layout stays visible in the viewer).
+  for (const auto& [process, pid] : pids) {
+    sep() << "{\"ph\":\"M\",\"pid\":" << pid
+          << ",\"name\":\"process_name\",\"args\":{\"name\":\""
+          << json_escape(process) << "\"}}";
+  }
+  for (std::size_t i = 0; i < tracer.tracks().size(); ++i) {
+    const TrackInfo& t = tracer.tracks()[i];
+    sep() << "{\"ph\":\"M\",\"pid\":" << addr[i].pid
+          << ",\"tid\":" << addr[i].tid
+          << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
+          << json_escape(t.name) << "\"}}";
+  }
+
+  // A flow arrow chain needs every span that carries the flow id, sorted
+  // by start time: first hop emits "s", later hops "t", final hop "f".
+  struct FlowHop {
+    sim::Tick ts;
+    int pid;
+    int tid;
+  };
+  std::map<std::uint64_t, std::vector<FlowHop>> flows;
+
+  tracer.for_each([&](const Event& e) {
+    const TrackAddr& a = addr[e.track];
+    const TrackInfo& t = tracer.tracks()[e.track];
+    switch (e.kind) {
+      case EventKind::kSpan:
+        sep() << "{\"ph\":\"X\",\"name\":\"" << json_escape(e.name)
+              << "\",\"cat\":\"" << json_escape(t.category)
+              << "\",\"pid\":" << a.pid << ",\"tid\":" << a.tid
+              << ",\"ts\":" << us(e.ts) << ",\"dur\":" << us(e.dur);
+        if (e.flow != 0) {
+          os << ",\"args\":{\"flow\":" << e.flow << "}";
+        }
+        os << "}";
+        if (e.flow != 0) {
+          flows[e.flow].push_back(FlowHop{e.ts, a.pid, a.tid});
+        }
+        break;
+      case EventKind::kInstant:
+        sep() << "{\"ph\":\"i\",\"s\":\"t\",\"name\":\"" << json_escape(e.name)
+              << "\",\"cat\":\"" << json_escape(t.category)
+              << "\",\"pid\":" << a.pid << ",\"tid\":" << a.tid
+              << ",\"ts\":" << us(e.ts) << "}";
+        break;
+      case EventKind::kCounter:
+        sep() << "{\"ph\":\"C\",\"name\":\"" << json_escape(t.name)
+              << "\",\"pid\":" << a.pid << ",\"tid\":" << a.tid
+              << ",\"ts\":" << us(e.ts) << ",\"args\":{\"value\":"
+              << fmt_value(e.value) << "}}";
+        break;
+    }
+  });
+
+  for (auto& [id, hops] : flows) {
+    if (hops.size() < 2) {
+      continue;
+    }
+    std::stable_sort(hops.begin(), hops.end(),
+                     [](const FlowHop& a, const FlowHop& b) {
+                       return a.ts < b.ts;
+                     });
+    for (std::size_t i = 0; i < hops.size(); ++i) {
+      const char* ph = i == 0 ? "s" : (i + 1 == hops.size() ? "f" : "t");
+      sep() << "{\"ph\":\"" << ph << "\",\"cat\":\"flow\",\"name\":\"msg\""
+            << ",\"id\":" << id << ",\"pid\":" << hops[i].pid
+            << ",\"tid\":" << hops[i].tid << ",\"ts\":" << us(hops[i].ts);
+      if (*ph == 'f') {
+        os << ",\"bp\":\"e\"";
+      }
+      os << "}";
+    }
+  }
+
+  os << "\n]}\n";
+}
+
+void write_chrome_trace_file(const Tracer& tracer, const std::string& path,
+                             const ChromeWriteOptions& options) {
+  std::ofstream os(path);
+  if (!os) {
+    throw std::runtime_error("trace: cannot open " + path);
+  }
+  write_chrome_trace(tracer, os, options);
+  if (!os) {
+    throw std::runtime_error("trace: write failed for " + path);
+  }
+}
+
+}  // namespace sv::trace

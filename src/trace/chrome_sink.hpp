@@ -1,0 +1,32 @@
+// Serializes a Tracer's ring buffer into Chrome trace-event JSON, the
+// format Perfetto and chrome://tracing load directly.
+//
+// Mapping: each track process ("n0", "n1", "net") becomes a pid and each
+// lane within it a tid, so the viewer groups hardware units under their
+// node. Spans become "X" complete events, instants "i", counter tracks "C",
+// and flows "s"/"t"/"f" arrow chains bound to the spans that share a flow
+// id. Timestamps are microseconds (ticks are picoseconds, so 1 tick =
+// 1e-6 us and full precision survives).
+#pragma once
+
+#include <ostream>
+
+#include "sim/types.hpp"
+#include "trace/trace.hpp"
+
+namespace sv::trace {
+
+struct ChromeWriteOptions {
+  /// Simulation end time, recorded in otherData.sim_now_ps so analyzers
+  /// use the same occupancy denominator as the StatRegistry dump.
+  sim::Tick sim_now = 0;
+};
+
+void write_chrome_trace(const Tracer& tracer, std::ostream& os,
+                        const ChromeWriteOptions& options = {});
+
+/// Convenience: write to a file; throws std::runtime_error on I/O failure.
+void write_chrome_trace_file(const Tracer& tracer, const std::string& path,
+                             const ChromeWriteOptions& options = {});
+
+}  // namespace sv::trace

@@ -1,0 +1,75 @@
+#include "trace/trace.hpp"
+
+namespace sv::trace {
+
+Tracer::Tracer(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+TrackId Tracer::track(std::string_view process, std::string_view name,
+                      std::string_view category, bool counter) {
+  std::string key;
+  key.reserve(process.size() + 1 + name.size());
+  key.append(process);
+  key.push_back('\0');  // separator that cannot appear in either part
+  key.append(name);
+  if (auto it = by_key_.find(key); it != by_key_.end()) {
+    return it->second;
+  }
+  const auto id = static_cast<TrackId>(tracks_.size());
+  tracks_.push_back(TrackInfo{std::string(process), std::string(name),
+                              std::string(category), counter});
+  by_key_.emplace(std::move(key), id);
+  return id;
+}
+
+TrackId Tracer::track_for(std::string_view object_name,
+                          std::string_view category, bool counter) {
+  const auto dot = object_name.find('.');
+  if (dot == std::string_view::npos) {
+    return track(object_name, object_name, category, counter);
+  }
+  return track(object_name.substr(0, dot), object_name.substr(dot + 1),
+               category, counter);
+}
+
+void Tracer::span(TrackId t, std::string name, sim::Tick start, sim::Tick end,
+                  std::uint64_t flow) {
+  if (!enabled_ || t == kNoTrack || end < start) {
+    return;
+  }
+  push(Event{EventKind::kSpan, t, start, end - start, 0.0, flow,
+             std::move(name)});
+}
+
+void Tracer::instant(TrackId t, std::string name, sim::Tick ts,
+                     std::uint64_t flow) {
+  if (!enabled_ || t == kNoTrack) {
+    return;
+  }
+  push(Event{EventKind::kInstant, t, ts, 0, 0.0, flow, std::move(name)});
+}
+
+void Tracer::counter(TrackId t, sim::Tick ts, double value) {
+  if (!enabled_ || t == kNoTrack) {
+    return;
+  }
+  push(Event{EventKind::kCounter, t, ts, 0, value, 0, {}});
+}
+
+void Tracer::clear() {
+  ring_.clear();
+  head_ = 0;
+  recorded_ = 0;
+}
+
+void Tracer::push(Event e) {
+  ++recorded_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(e));
+    return;
+  }
+  ring_[head_] = std::move(e);
+  head_ = (head_ + 1) % capacity_;
+}
+
+}  // namespace sv::trace

@@ -93,8 +93,9 @@ TEST(IdealNetworkTest, DeliversAfterFixedLatency) {
   }(&net));
   kernel.run();
   ASSERT_EQ(got.size(), 2u);
-  EXPECT_EQ(got[0].second, 0u);
-  EXPECT_EQ(got[1].second, 1u);
+  // Serials start at 1: 0 is reserved for "no flow id assigned".
+  EXPECT_EQ(got[0].second, 1u);
+  EXPECT_EQ(got[1].second, 2u);
   EXPECT_LT(got[0].first, got[1].first);  // source serialization
   EXPECT_EQ(net.packets_delivered().value(), 2u);
 }

@@ -1,5 +1,6 @@
 // Unit tests for the simulation kernel: event ordering, coroutines,
 #include <bit>
+#include <sstream>
 // synchronization primitives, statistics, configuration, PRNG.
 #include <gtest/gtest.h>
 
@@ -271,6 +272,37 @@ TEST(Stats, AccumulatorAndHistogram) {
   EXPECT_EQ(h.count(), 3u);
   EXPECT_EQ(h.max(), 1000u);
   EXPECT_GE(h.percentile(100), 1000u);
+}
+
+TEST(Stats, HistogramPercentileEdges) {
+  Histogram empty;
+  EXPECT_EQ(empty.percentile(0), 0u);
+  EXPECT_EQ(empty.percentile(50), 0u);
+  EXPECT_EQ(empty.percentile(100), 0u);
+
+  Histogram h;
+  h.sample(2);
+  h.sample(1000);
+  EXPECT_EQ(h.percentile(0), 2u);     // p=0 is the minimum
+  EXPECT_EQ(h.percentile(-5), 2u);    // out-of-range p clamps
+  EXPECT_EQ(h.percentile(100), 1000u);
+  EXPECT_EQ(h.percentile(200), 1000u);
+
+  // A single exact value must round-trip at every percentile, not be
+  // rounded up to its bucket's power-of-two boundary.
+  Histogram one;
+  one.sample(1000);
+  EXPECT_EQ(one.percentile(50), 1000u);
+  EXPECT_EQ(one.percentile(100), 1000u);
+}
+
+TEST(Stats, RegistryDumpJson) {
+  StatRegistry reg;
+  reg.set("a.b", 1.5);
+  reg.set("c", 3);
+  std::ostringstream os;
+  reg.dump_json(os);
+  EXPECT_EQ(os.str(), "{\n  \"a.b\": 1.5,\n  \"c\": 3\n}\n");
 }
 
 TEST(Stats, BusyTrackerOccupancy) {

@@ -1,0 +1,162 @@
+// Tracer ring-buffer semantics, Chrome JSON round-trip, and the
+// end-to-end guarantee that trace-derived occupancy agrees with the
+// StatRegistry occupancy for the same run.
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sys/stats_dump.hpp"
+#include "trace/analysis.hpp"
+#include "trace/chrome_sink.hpp"
+#include "trace/trace.hpp"
+#include "xfer/approaches.hpp"
+
+namespace sv::trace {
+namespace {
+
+TEST(Tracer, RingOverflowKeepsNewest) {
+  Tracer tr(4);
+  const TrackId t = tr.track("p", "lane", "test");
+  for (int i = 0; i < 6; ++i) {
+    tr.span(t, "s" + std::to_string(i), 10 * i, 10 * i + 5);
+  }
+  EXPECT_EQ(tr.size(), 4u);
+  EXPECT_EQ(tr.recorded(), 6u);
+  EXPECT_EQ(tr.dropped(), 2u);
+  std::vector<std::string> names;
+  tr.for_each([&](const Event& e) { names.push_back(e.name); });
+  EXPECT_EQ(names, (std::vector<std::string>{"s2", "s3", "s4", "s5"}));
+}
+
+TEST(Tracer, DisabledRecordsNothing) {
+  Tracer tr;
+  tr.set_enabled(false);
+  const TrackId t = tr.track("p", "lane", "test");
+  tr.span(t, "s", 0, 10);
+  tr.instant(t, "i", 5);
+  tr.counter(t, 5, 1.0);
+  EXPECT_EQ(tr.size(), 0u);
+  EXPECT_EQ(tr.recorded(), 0u);
+}
+
+TEST(Tracer, TrackForSplitsAtFirstDot) {
+  Tracer tr;
+  const TrackId a = tr.track_for("n0.NIU.TxU", "niu");
+  const TrackId b = tr.track("n0", "NIU.TxU", "niu");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(tr.tracks()[a].process, "n0");
+  EXPECT_EQ(tr.tracks()[a].name, "NIU.TxU");
+}
+
+TEST(ChromeSink, RoundTripsThroughAnalysis) {
+  Tracer tr;
+  const TrackId bus = tr.track("n0", "bus", "bus");
+  const TrackId link = tr.track("net", "inj0", "link");
+  const TrackId depth = tr.track("n0", "txq0", "queue", /*counter=*/true);
+  const std::uint64_t flow = tr.next_flow();
+  tr.span(bus, "Read", 1'000'000, 2'000'000);
+  tr.span(bus, "Read", 1'500'000, 2'500'000);  // overlaps: union = 1.5us
+  tr.span(link, "pkt>n1", 3'000'000, 4'000'000, flow);
+  tr.span(link, "pkt>n1", 5'000'000, 6'000'000, flow);
+  tr.counter(depth, 1'000'000, 3.0);
+
+  std::ostringstream os;
+  write_chrome_trace(tr, os, ChromeWriteOptions{10'000'000});
+  TraceAnalysis a = TraceAnalysis::parse_text(os.str());
+
+  EXPECT_EQ(a.sim_now_ps, 10'000'000u);
+  EXPECT_EQ(a.duration_ps(), 10'000'000u);
+  EXPECT_EQ(a.spans.size(), 4u);
+  EXPECT_EQ(a.counter_samples, 1u);
+  EXPECT_EQ(a.counter_tracks, 1u);
+
+  bool saw_bus = false;
+  bool saw_link = false;
+  for (std::size_t i = 0; i < a.tracks.size(); ++i) {
+    const auto& t = a.tracks[i];
+    if (t.full_name() == "n0.bus") {
+      saw_bus = true;
+      EXPECT_EQ(t.busy_ps, 1'500'000u);  // overlap merged
+      EXPECT_DOUBLE_EQ(a.occupancy(i), 0.15);
+    } else if (t.full_name() == "net.inj0") {
+      saw_link = true;
+      EXPECT_EQ(t.busy_ps, 2'000'000u);
+      EXPECT_EQ(t.category, "link");
+    }
+  }
+  EXPECT_TRUE(saw_bus);
+  EXPECT_TRUE(saw_link);
+
+  const auto flows = a.flows();
+  ASSERT_EQ(flows.size(), 1u);
+  EXPECT_EQ(flows[0].id, flow);
+  EXPECT_EQ(flows[0].hops, 2u);
+  EXPECT_EQ(flows[0].latency_ps(), 3'000'000u);
+  EXPECT_EQ(flows[0].by_category_ps.at("link"), 2'000'000u);
+}
+
+TEST(TraceIntegration, XferTraceMatchesStatRegistry) {
+  sys::Machine::Params mp;
+  mp.nodes = 2;
+  mp.node.dram_size = 16ull * 1024 * 1024;
+  mp.node.enable_scoma = false;
+  sys::Machine machine(mp);
+  machine.enable_tracing();
+
+  xfer::BlockTransferHarness harness(machine);
+  xfer::TransferSpec spec;
+  spec.src = 0x0010'0000;
+  spec.dst = 0x0040'0000;
+  spec.len = 16384;
+  const auto res = harness.run(3, spec);
+  ASSERT_TRUE(res.ok);
+
+  std::ostringstream os;
+  write_chrome_trace(*machine.tracer(), os,
+                     ChromeWriteOptions{machine.kernel().now()});
+  TraceAnalysis a = TraceAnalysis::parse_text(os.str());
+  const sim::StatRegistry reg = sys::collect_stats(machine);
+
+  // The trace must show the message path across distinct hardware lanes,
+  // plus at least one queue-depth counter track.
+  std::size_t span_lanes = 0;
+  bool saw_sp = false;
+  bool saw_link = false;
+  for (const auto& t : a.tracks) {
+    span_lanes += t.spans > 0 ? 1 : 0;
+    saw_sp = saw_sp || (t.full_name() == "n0.sP" && t.spans > 0);
+    saw_link = saw_link || (t.category == "link" && t.spans > 0);
+  }
+  EXPECT_GE(span_lanes, 4u);
+  EXPECT_TRUE(saw_sp);
+  EXPECT_TRUE(saw_link);
+  EXPECT_GE(a.counter_tracks, 1u);
+  EXPECT_FALSE(a.flows().empty());
+
+  // Trace-derived occupancy agrees with the StatRegistry (within 1%).
+  const struct {
+    const char* lane;
+    const char* stat;
+  } pairs[] = {
+      {"n0.bus", "n0.bus.data_occupancy"},
+      {"n1.bus", "n1.bus.data_occupancy"},
+      {"n0.NIU.IBus", "n0.ctrl.ibus_occupancy"},
+      {"n0.aP", "n0.aP.occupancy"},
+      {"n0.sP", "n0.sP.occupancy"},
+  };
+  for (const auto& [lane, stat] : pairs) {
+    bool found = false;
+    for (std::size_t i = 0; i < a.tracks.size(); ++i) {
+      if (a.tracks[i].full_name() == lane) {
+        found = true;
+        EXPECT_NEAR(a.occupancy(i), reg.get(stat), 0.01) << lane;
+      }
+    }
+    EXPECT_TRUE(found) << lane;
+  }
+}
+
+}  // namespace
+}  // namespace sv::trace

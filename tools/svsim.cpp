@@ -16,7 +16,8 @@
 //   scoma     random shared-memory traffic     (nodes, ops, words, seed)
 //   numa      random NUMA traffic              (nodes, ops, words, seed)
 //
-// Common keys: nodes=N net=fattree|ideal radix=K stats=0|1 deadline_ms=N
+// Common keys: nodes=N net=fattree|ideal radix=K stats=0|1
+//   stats_format=text|json deadline_ms=N trace=FILE trace_buf=N
 #include <cstdio>
 #include <cstring>
 #include <iostream>
@@ -29,6 +30,7 @@
 #include "sim/config.hpp"
 #include "sim/random.hpp"
 #include "sys/stats_dump.hpp"
+#include "trace/chrome_sink.hpp"
 #include "xfer/approaches.hpp"
 
 using namespace sv;
@@ -245,6 +247,12 @@ int main(int argc, char** argv) {
 
   sys::Machine machine(machine_params(cfg));
 
+  const std::string trace_file = cfg.get_string("trace", "");
+  if (!trace_file.empty()) {
+    machine.enable_tracing(
+        cfg.get_u64("trace_buf", trace::Tracer::kDefaultCapacity));
+  }
+
   int rc = 2;
   if (workload == "msg") {
     rc = run_msg(machine, cfg, false);
@@ -264,9 +272,28 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  if (!trace_file.empty()) {
+    const trace::Tracer& tr = *machine.tracer();
+    try {
+      trace::write_chrome_trace_file(
+          tr, trace_file,
+          trace::ChromeWriteOptions{machine.kernel().now()});
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "svsim: %s\n", e.what());
+      return 1;
+    }
+    std::printf("trace: %zu events (%llu dropped) -> %s\n", tr.size(),
+                static_cast<unsigned long long>(tr.dropped()),
+                trace_file.c_str());
+  }
+
   if (cfg.get_bool("stats", false)) {
-    std::printf("\n--- machine statistics ---\n");
-    sys::dump_stats(machine, std::cout);
+    if (cfg.get_string("stats_format", "text") == "json") {
+      sys::dump_stats_json(machine, std::cout);
+    } else {
+      std::printf("\n--- machine statistics ---\n");
+      sys::dump_stats(machine, std::cout);
+    }
   }
   return rc;
 }
