@@ -1,0 +1,113 @@
+// Delivered bandwidth under injected packet loss: a reliable n0 -> n1
+// stream over the fat tree, swept over the link drop rate (argument in
+// permille: 0, 10, 50, 100 = 0%, 1%, 5%, 10%).
+//
+// Expected shape: delivered payload bandwidth decreases monotonically as
+// the drop rate rises — every lost DATA or ACK frame costs at least one
+// retransmit timeout or NACK round-trip, and go-back-N resends the whole
+// window behind a loss.
+//
+// The "Time" column is simulated transfer time (UseManualTime).
+#include <numeric>
+
+#include "bench/bench_util.hpp"
+#include "msg/reliable.hpp"
+
+namespace sv::bench {
+namespace {
+
+constexpr std::uint64_t kPayloads = 400;
+constexpr std::size_t kBytes = msg::ReliableChannel::kMaxPayload;  // 72
+
+void BM_Faults_Bandwidth(benchmark::State& state) {
+  const double drop_rate = static_cast<double>(state.range(0)) / 1000.0;
+
+  sim::Tick total = 0;
+  std::uint64_t runs = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t dropped = 0;
+  for (auto _ : state) {
+    auto mp = default_machine_params(2);
+    mp.fault.drop_rate = drop_rate;
+    sys::Machine machine(mp);
+    maybe_enable_tracing(machine);
+    const auto map = machine.addr_map();
+
+    auto ep0 = machine.node(0).make_endpoint();
+    auto ep1 = machine.node(1).make_endpoint();
+    msg::ReliableChannel tx(ep0, map, 0);
+    msg::ReliableChannel rx(ep1, map, 1);
+    tx.start();
+    rx.start();
+
+    machine.node(0).ap().run(
+        [](msg::ReliableChannel* ch) -> sim::Co<void> {
+          std::vector<std::byte> payload(kBytes);
+          for (std::uint64_t i = 0; i < kPayloads; ++i) {
+            for (std::size_t b = 0; b < payload.size(); ++b) {
+              payload[b] = static_cast<std::byte>(i + b);
+            }
+            co_await ch->send(1, payload);
+          }
+        }(&tx));
+    std::uint64_t got = 0;
+    machine.node(1).ap().run(
+        [](msg::ReliableChannel* ch, std::uint64_t* g) -> sim::Co<void> {
+          for (std::uint64_t i = 0; i < kPayloads; ++i) {
+            (void)co_await ch->recv(0);
+            ++*g;
+          }
+        }(&rx, &got));
+
+    const sim::Tick t0 = machine.kernel().now();
+    const bool ok = sys::run_until(
+        machine.kernel(),
+        [&] { return got == kPayloads && tx.unacked() == 0; },
+        t0 + 2000 * sim::kMillisecond);
+    if (!ok) {
+      state.SkipWithError("reliable stream did not complete");
+      return;
+    }
+    const sim::Tick elapsed = machine.kernel().now() - t0;
+    report_sim_time(state, elapsed);
+    total += elapsed;
+    ++runs;
+    retransmits += tx.stats().retransmitted.value();
+    dropped += machine.network().audit().dropped;
+    maybe_write_trace(machine);
+  }
+  state.counters["drop_pct"] = static_cast<double>(state.range(0)) / 10.0;
+  state.counters["retransmits"] =
+      static_cast<double>(retransmits) / static_cast<double>(runs);
+  state.counters["pkts_dropped"] =
+      static_cast<double>(dropped) / static_cast<double>(runs);
+  state.counters["mbps"] =
+      static_cast<double>(kPayloads * kBytes * runs) /
+      (static_cast<double>(total) / 1e6);
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(kPayloads * kBytes * runs));
+}
+
+BENCHMARK(BM_Faults_Bandwidth)
+    ->Arg(0)
+    ->Arg(10)
+    ->Arg(50)
+    ->Arg(100)
+    ->UseManualTime()
+    ->Iterations(3)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace sv::bench
+
+int main(int argc, char** argv) {
+  sv::bench::parse_trace_flag(argc, argv);
+  sv::bench::parse_fault_flags(argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -60,6 +60,7 @@ BENCHMARK(BM_Fig3_Latency)
 
 int main(int argc, char** argv) {
   sv::bench::parse_trace_flag(argc, argv);
+  sv::bench::parse_fault_flags(argc, argv);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
     return 1;

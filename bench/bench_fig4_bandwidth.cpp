@@ -61,6 +61,7 @@ BENCHMARK(BM_Fig4_Bandwidth)
 
 int main(int argc, char** argv) {
   sv::bench::parse_trace_flag(argc, argv);
+  sv::bench::parse_fault_flags(argc, argv);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
     return 1;

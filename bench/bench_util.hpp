@@ -9,9 +9,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
 #include <string>
 #include <string_view>
 
+#include "fault/fault.hpp"
 #include "sys/experiment.hpp"
 #include "trace/chrome_sink.hpp"
 #include "xfer/approaches.hpp"
@@ -24,6 +26,10 @@ inline constexpr double kPsToSec = 1e-12;
 /// which costs nothing on the simulation's instrumented paths).
 inline std::string g_trace_file;  // NOLINT(misc-definitions-in-headers)
 
+/// Fault plan from --fault_* flags; all-zero rates (the default) mean no
+/// injector is created and the run is bit-identical to a fault-free build.
+inline fault::Plan g_fault_plan;  // NOLINT(misc-definitions-in-headers)
+
 /// Strip a leading --trace=FILE from argv. Call before
 /// benchmark::Initialize, which rejects flags it does not know.
 inline void parse_trace_flag(int& argc, char** argv) {
@@ -33,6 +39,34 @@ inline void parse_trace_flag(int& argc, char** argv) {
     constexpr std::string_view kFlag = "--trace=";
     if (arg.substr(0, kFlag.size()) == kFlag) {
       g_trace_file = std::string(arg.substr(kFlag.size()));
+    } else {
+      argv[w++] = argv[i];
+    }
+  }
+  argc = w;
+}
+
+/// Strip --fault_drop=P, --fault_corrupt=P and --fault_seed=N (P in [0,1])
+/// from argv into g_fault_plan. Call before benchmark::Initialize.
+inline void parse_fault_flags(int& argc, char** argv) {
+  const auto eat = [](std::string_view arg, std::string_view flag,
+                      double* out) {
+    if (arg.substr(0, flag.size()) != flag) {
+      return false;
+    }
+    *out = std::strtod(std::string(arg.substr(flag.size())).c_str(), nullptr);
+    return true;
+  };
+  int w = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    double v = 0.0;
+    if (eat(arg, "--fault_drop=", &v)) {
+      g_fault_plan.drop_rate = v;
+    } else if (eat(arg, "--fault_corrupt=", &v)) {
+      g_fault_plan.corrupt_rate = v;
+    } else if (eat(arg, "--fault_seed=", &v)) {
+      g_fault_plan.seed = static_cast<std::uint64_t>(v);
     } else {
       argv[w++] = argv[i];
     }
@@ -62,6 +96,7 @@ inline sys::Machine::Params default_machine_params(std::size_t nodes = 2) {
   p.node.dram_size = 16ull * 1024 * 1024;
   p.node.scoma_size = 2ull * 1024 * 1024;
   p.node.numa_backing_size = 16ull * 1024 * 1024;
+  p.fault = g_fault_plan;
   return p;
 }
 

@@ -1,0 +1,123 @@
+#include "fault/fault.hpp"
+
+#include "sim/config.hpp"
+#include "trace/trace.hpp"
+
+namespace sv::fault {
+
+Plan Plan::from_config(const sim::Config& cfg) {
+  Plan p;
+  p.seed = cfg.get_u64("fault.seed", p.seed);
+  p.drop_rate = cfg.get_double("fault.drop_rate", p.drop_rate);
+  p.corrupt_rate = cfg.get_double("fault.corrupt_rate", p.corrupt_rate);
+  p.link_down_rate = cfg.get_double("fault.link_down_rate", p.link_down_rate);
+  p.link_down_ticks = cfg.get_u64("fault.link_down_ticks", p.link_down_ticks);
+  p.router_stall_rate =
+      cfg.get_double("fault.router_stall_rate", p.router_stall_rate);
+  p.router_stall_cycles = static_cast<std::uint32_t>(
+      cfg.get_u64("fault.router_stall_cycles", p.router_stall_cycles));
+  p.starve_rate = cfg.get_double("fault.starve_rate", p.starve_rate);
+  p.starve_cycles = static_cast<std::uint32_t>(
+      cfg.get_u64("fault.starve_cycles", p.starve_cycles));
+  p.rx_overflow_rate =
+      cfg.get_double("fault.rx_overflow_rate", p.rx_overflow_rate);
+  return p;
+}
+
+std::uint64_t Injector::stream_seed(std::uint64_t master,
+                                    std::string_view stream) {
+  // FNV-1a over the stream name, then one SplitMix64-style finalizer over
+  // the combination so nearby master seeds still give unrelated streams.
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char c : stream) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  std::uint64_t z = h ^ (master + 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+Injector::Injector(sim::Kernel& kernel, std::string name, Plan plan)
+    : SimObject(kernel, std::move(name)),
+      plan_(plan),
+      drop_rng_(stream_seed(plan.seed, "link.drop")),
+      corrupt_rng_(stream_seed(plan.seed, "link.corrupt")),
+      down_rng_(stream_seed(plan.seed, "link.down")),
+      stall_rng_(stream_seed(plan.seed, "router.stall")),
+      starve_rng_(stream_seed(plan.seed, "router.starve")),
+      overflow_rng_(stream_seed(plan.seed, "rxu.overflow")) {}
+
+void Injector::mark(const char* what, std::uint64_t flow) {
+  if (trace::Tracer* tr = kernel_.tracer()) {
+    const trace::TrackId t = tr->track("net", "faults", "fault");
+    tr->instant(t, what, now(), flow);
+  }
+}
+
+bool Injector::drop_packet(std::uint64_t flow) {
+  if (plan_.drop_rate <= 0.0 || !drop_rng_.chance(plan_.drop_rate)) {
+    return false;
+  }
+  stats_.drops.inc();
+  mark("fault: drop", flow);
+  return true;
+}
+
+bool Injector::corrupt_packet(std::uint64_t flow) {
+  if (plan_.corrupt_rate <= 0.0 || !corrupt_rng_.chance(plan_.corrupt_rate)) {
+    return false;
+  }
+  stats_.corrupts.inc();
+  mark("fault: corrupt", flow);
+  return true;
+}
+
+void Injector::corrupt(std::vector<std::byte>& payload) {
+  if (payload.empty()) {
+    return;
+  }
+  const std::uint64_t bit = corrupt_rng_.below(payload.size() * 8);
+  payload[bit / 8] ^= static_cast<std::byte>(1U << (bit % 8));
+}
+
+sim::Tick Injector::link_down_window(std::uint64_t flow) {
+  if (plan_.link_down_rate <= 0.0 || !down_rng_.chance(plan_.link_down_rate)) {
+    return 0;
+  }
+  stats_.link_downs.inc();
+  mark("fault: link down", flow);
+  return plan_.link_down_ticks;
+}
+
+std::uint32_t Injector::router_stall_cycles() {
+  if (plan_.router_stall_rate <= 0.0 ||
+      !stall_rng_.chance(plan_.router_stall_rate)) {
+    return 0;
+  }
+  stats_.router_stalls.inc();
+  mark("fault: router stall", 0);
+  return plan_.router_stall_cycles;
+}
+
+std::uint32_t Injector::starvation_cycles() {
+  if (plan_.starve_rate <= 0.0 || !starve_rng_.chance(plan_.starve_rate)) {
+    return 0;
+  }
+  stats_.starvations.inc();
+  mark("fault: starvation", 0);
+  return plan_.starve_cycles;
+}
+
+bool Injector::rx_overflow(std::uint64_t flow) {
+  if (plan_.rx_overflow_rate <= 0.0 ||
+      !overflow_rng_.chance(plan_.rx_overflow_rate)) {
+    return false;
+  }
+  stats_.rx_overflows.inc();
+  mark("fault: rx overflow", flow);
+  return true;
+}
+
+}  // namespace sv::fault

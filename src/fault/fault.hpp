@@ -1,0 +1,131 @@
+// Deterministic, config-driven fault injection.
+//
+// A fault::Injector hangs off the Kernel exactly like the trace::Tracer:
+// hook sites in net::Link (packet drop, payload corruption, transient
+// link-down windows), net::Router (backpressure stalls, low-priority
+// starvation) and niu::RxU (forced Rx-queue overflow) do a single pointer
+// null-check when fault injection is off — that check is the entire
+// disabled-path cost, so a run with no injector is bit-identical to a
+// build without the subsystem.
+//
+// Every fault category draws from its own sim::Rng seeded from a named
+// stream ("link.drop", "link.corrupt", ...) mixed with one master seed, so
+// the decision sequence of one category is independent of whether another
+// category is enabled, and any observed failure replays exactly from the
+// master seed alone.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/kernel.hpp"
+#include "sim/random.hpp"
+#include "sim/stats.hpp"
+#include "sim/types.hpp"
+
+namespace sv::sim {
+class Config;
+}  // namespace sv::sim
+
+namespace sv::fault {
+
+/// What to inject and how often. All rates are per-opportunity
+/// probabilities in [0, 1]; a default-constructed Plan injects nothing.
+struct Plan {
+  std::uint64_t seed = sim::Rng::kDefaultSeed;
+
+  // net::Link faults, evaluated once per packet crossing a link.
+  double drop_rate = 0.0;     // packet vanishes on the wire
+  double corrupt_rate = 0.0;  // one payload bit flips in flight
+  double link_down_rate = 0.0;
+  sim::Tick link_down_ticks = 2'000'000;  // 2 us outage per event
+
+  // net::Router faults, evaluated once per packet forwarded.
+  double router_stall_rate = 0.0;
+  std::uint32_t router_stall_cycles = 32;  // backpressure bubble
+  double starve_rate = 0.0;
+  std::uint32_t starve_cycles = 64;  // extra wait charged to low priority
+
+  // niu::RxU fault: packet discarded as if the Rx queue overflowed.
+  double rx_overflow_rate = 0.0;
+
+  [[nodiscard]] bool enabled() const {
+    return drop_rate > 0.0 || corrupt_rate > 0.0 || link_down_rate > 0.0 ||
+           router_stall_rate > 0.0 || starve_rate > 0.0 ||
+           rx_overflow_rate > 0.0;
+  }
+
+  /// Read "fault.*" keys (fault.seed, fault.drop_rate, fault.corrupt_rate,
+  /// fault.link_down_rate, fault.link_down_ticks, fault.router_stall_rate,
+  /// fault.router_stall_cycles, fault.starve_rate, fault.starve_cycles,
+  /// fault.rx_overflow_rate). Missing keys keep the defaults above.
+  static Plan from_config(const sim::Config& cfg);
+};
+
+/// Counts of injected faults, per category.
+struct Stats {
+  sim::Counter drops;
+  sim::Counter corrupts;
+  sim::Counter link_downs;
+  sim::Counter router_stalls;
+  sim::Counter starvations;
+  sim::Counter rx_overflows;
+};
+
+class Injector : public sim::SimObject {
+ public:
+  Injector(sim::Kernel& kernel, std::string name, Plan plan);
+
+  [[nodiscard]] const Plan& plan() const { return plan_; }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  // --- Hook-point decisions. Each call advances only its own stream. ---
+
+  /// True: the packet is lost on the wire. `flow` is the packet serial,
+  /// used to tag the trace marker.
+  bool drop_packet(std::uint64_t flow);
+
+  /// True: the packet's payload should be corrupted (call corrupt()).
+  bool corrupt_packet(std::uint64_t flow);
+
+  /// Flip one uniformly-chosen bit of `payload` (no-op when empty).
+  void corrupt(std::vector<std::byte>& payload);
+
+  /// Nonzero: the link goes down for that many ticks before this packet
+  /// can serialize.
+  sim::Tick link_down_window(std::uint64_t flow);
+
+  /// Nonzero: the router output port stalls for that many cycles
+  /// (backpressure bubble) before forwarding.
+  std::uint32_t router_stall_cycles();
+
+  /// Nonzero: a low-priority packet is starved for that many extra cycles.
+  std::uint32_t starvation_cycles();
+
+  /// True: the RxU discards this packet as a forced Rx-queue overflow.
+  bool rx_overflow(std::uint64_t flow);
+
+  /// Seed for a named stream: master seed mixed with an FNV-1a hash of the
+  /// stream name, so streams are decorrelated but fully determined by
+  /// (master, name).
+  [[nodiscard]] static std::uint64_t stream_seed(std::uint64_t master,
+                                                 std::string_view stream);
+
+ private:
+  /// Record the fault on the shared "net/faults" trace lane (if tracing).
+  void mark(const char* what, std::uint64_t flow);
+
+  Plan plan_;
+  Stats stats_;
+  sim::Rng drop_rng_;
+  sim::Rng corrupt_rng_;
+  sim::Rng down_rng_;
+  sim::Rng stall_rng_;
+  sim::Rng starve_rng_;
+  sim::Rng overflow_rng_;
+};
+
+}  // namespace sv::fault

@@ -185,7 +185,16 @@ sim::Co<void> FatTreeNetwork::inject(Packet pkt) {
     // A tracing NIU already stamped a flow id; otherwise number here.
     pkt.serial = next_serial_++;
   }
+  count_inject();
   co_await inject_links_[pkt.src]->send(std::move(pkt));
+}
+
+Network::Audit FatTreeNetwork::audit() const {
+  Audit a = Network::audit();
+  for (const auto& link : links_) {
+    a.dropped += link->packets_dropped().value();
+  }
+  return a;
 }
 
 void FatTreeNetwork::consume_done(sim::NodeId node, std::uint8_t priority) {

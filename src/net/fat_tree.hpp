@@ -36,6 +36,9 @@ class FatTreeNetwork final : public Network {
     return params_.nodes;
   }
 
+  /// Base counts plus fault drops summed over every link in the fabric.
+  [[nodiscard]] Audit audit() const override;
+
   // Topology introspection (tests, reporting).
   [[nodiscard]] unsigned levels() const { return levels_; }
   [[nodiscard]] std::size_t router_count() const { return routers_.size(); }

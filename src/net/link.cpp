@@ -3,6 +3,8 @@
 #include <cassert>
 #include <utility>
 
+#include "fault/fault.hpp"
+
 namespace sv::net {
 
 Link::Link(sim::Kernel& kernel, std::string name, Params params)
@@ -25,6 +27,13 @@ sim::Co<void> Link::send(Packet pkt) {
 
   // Serialize on the wire.
   co_await wire_.acquire();
+  if (fault::Injector* inj = kernel_.fault_injector()) {
+    // Transient outage: the wire is unusable for a window before this
+    // packet's head can go out.
+    if (const sim::Tick down = inj->link_down_window(pkt.serial)) {
+      co_await sim::delay(kernel_, down);
+    }
+  }
   const sim::Tick ser =
       params_.clock.to_ticks(serialize_cycles(pkt.wire_bytes()));
   busy_.add_busy(ser);
@@ -40,8 +49,25 @@ sim::Co<void> Link::send(Packet pkt) {
   }
   wire_.release();
 
-  // Propagate: the packet arrives at the far end after the wire delay.
   const sim::Tick prop = params_.clock.to_ticks(params_.propagation_cycles);
+  if (fault::Injector* inj = kernel_.fault_injector()) {
+    if (inj->drop_packet(pkt.serial)) {
+      // The packet is lost on the wire. The receiver's buffer slot was
+      // never filled, so the credit comes back after the propagation
+      // delay (when the mangled tail would have been rejected) — without
+      // this the credit would leak and the link would wedge.
+      dropped_.inc();
+      kernel_.schedule(prop, [this, prio = pkt.priority] {
+        return_credit(prio);
+      });
+      co_return;
+    }
+    if (inj->corrupt_packet(pkt.serial)) {
+      inj->corrupt(pkt.payload);
+    }
+  }
+
+  // Propagate: the packet arrives at the far end after the wire delay.
   kernel_.schedule(prop, [this, p = std::move(pkt)]() mutable {
     deliver_(std::move(p));
   });

@@ -57,6 +57,10 @@ class Link : public sim::SimObject {
 
   [[nodiscard]] const sim::Counter& packets_sent() const { return packets_; }
   [[nodiscard]] const sim::Counter& bytes_sent() const { return bytes_; }
+  /// Packets lost to injected faults on this link.
+  [[nodiscard]] const sim::Counter& packets_dropped() const {
+    return dropped_;
+  }
   [[nodiscard]] const sim::BusyTracker& busy() const { return busy_; }
   [[nodiscard]] const Params& params() const { return params_; }
 
@@ -68,6 +72,7 @@ class Link : public sim::SimObject {
   sim::Semaphore wire_;
   sim::Counter packets_;
   sim::Counter bytes_;
+  sim::Counter dropped_;
   sim::BusyTracker busy_;
   trace::TrackId trace_track_ = trace::kNoTrack;
 };

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "fault/fault.hpp"
+
 namespace sv::net {
 
 IdealNetwork::IdealNetwork(sim::Kernel& kernel, std::string name,
@@ -28,6 +30,7 @@ sim::Co<void> IdealNetwork::inject(Packet pkt) {
   if (pkt.serial == 0) {
     pkt.serial = next_serial_++;
   }
+  count_inject();
 
   auto& port = *inject_ports_[pkt.src];
   co_await port.acquire();
@@ -44,6 +47,16 @@ sim::Co<void> IdealNetwork::inject(Packet pkt) {
              now(), pkt.serial);
   }
   port.release();
+
+  if (fault::Injector* inj = kernel_.fault_injector()) {
+    if (inj->drop_packet(pkt.serial)) {
+      count_drop();
+      co_return;
+    }
+    if (inj->corrupt_packet(pkt.serial)) {
+      inj->corrupt(pkt.payload);
+    }
+  }
 
   kernel_.schedule(params_.latency, [this, p = std::move(pkt)]() mutable {
     count_delivery(p);

@@ -39,9 +39,33 @@ class Network : public sim::SimObject {
   [[nodiscard]] const sim::Counter& packets_delivered() const {
     return delivered_;
   }
+  [[nodiscard]] const sim::Counter& packets_injected() const {
+    return injected_;
+  }
   [[nodiscard]] const sim::Histogram& transit_ps() const { return transit_; }
 
+  /// Packet-conservation snapshot for the invariant checker: every packet
+  /// accepted by inject() must eventually be delivered or (fault-)dropped.
+  struct Audit {
+    std::uint64_t injected = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t dropped = 0;
+
+    [[nodiscard]] std::uint64_t in_flight() const {
+      return injected - delivered - dropped;
+    }
+    /// True once the network has quiesced with no packet unaccounted for.
+    [[nodiscard]] bool balanced() const {
+      return injected == delivered + dropped;
+    }
+  };
+  [[nodiscard]] virtual Audit audit() const {
+    return {injected_.value(), delivered_.value(), dropped_.value()};
+  }
+
  protected:
+  void count_inject() { injected_.inc(); }
+  void count_drop() { dropped_.inc(); }
   void count_delivery(const Packet& pkt) {
     delivered_.inc();
     transit_.sample(now() - pkt.inject_time);
@@ -52,7 +76,9 @@ class Network : public sim::SimObject {
   std::uint64_t next_serial_ = 1;
 
  private:
+  sim::Counter injected_;
   sim::Counter delivered_;
+  sim::Counter dropped_;
   sim::Histogram transit_;
 };
 

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "fault/fault.hpp"
+
 namespace sv::net {
 
 Router::Router(sim::Kernel& kernel, std::string name, Params params,
@@ -85,6 +87,19 @@ sim::Co<void> Router::output_process(unsigned out) {
     }
 
     const sim::Tick route_start = now();
+    if (fault::Injector* inj = kernel_.fault_injector()) {
+      // Backpressure bubble on the output port, plus (for low-priority
+      // traffic only) an extra starvation window modelling a high-priority
+      // storm monopolizing the crossbar.
+      if (const std::uint32_t stall = inj->router_stall_cycles()) {
+        co_await sim::delay(kernel_, params_.clock.to_ticks(stall));
+      }
+      if (prio == kPriorityLow) {
+        if (const std::uint32_t starve = inj->starvation_cycles()) {
+          co_await sim::delay(kernel_, params_.clock.to_ticks(starve));
+        }
+      }
+    }
     co_await sim::delay(kernel_,
                         params_.clock.to_ticks(params_.fall_through_cycles));
     if (trace::Tracer* tr = kernel_.tracer();

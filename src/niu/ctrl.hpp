@@ -193,6 +193,12 @@ class Ctrl : public sim::SimObject {
   [[nodiscard]] CtrlStats& stats() { return stats_; }
   [[nodiscard]] const CtrlStats& stats() const { return stats_; }
 
+  /// Shut down tx queue `q` (protection machinery): the queue stops
+  /// launching, the shutdown status register bit is set and a protection
+  /// interrupt is raised. Also the surface for the reliable-delivery
+  /// layer's give-up path: a peer declared dead shuts the sending queue.
+  void shutdown_tx_queue(unsigned q);
+
  private:
   friend class BlockEngines;
 
@@ -207,7 +213,6 @@ class Ctrl : public sim::SimObject {
                                               std::uint16_t or_mask,
                                               std::uint16_t vdest);
 
-  void shutdown_tx_queue(unsigned q);
   sim::Co<void> write_shadow(mem::Addr offset, std::uint32_t value);
   /// Gate entry to the miss/overflow queue, honoring its full policy.
   /// Returns false when the message must be dropped.

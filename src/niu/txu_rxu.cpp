@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "fault/fault.hpp"
+
 namespace sv::niu {
 
 TxU::TxU(sim::Kernel& kernel, std::string name, Ctrl& ctrl, Params params)
@@ -61,6 +63,15 @@ sim::Co<void> RxU::loop() {
                                   : net::kPriorityLow;
     net::Packet pkt = std::move(vq_[prio].front());
     vq_[prio].pop_front();
+
+    if (fault::Injector* inj = kernel_.fault_injector();
+        inj != nullptr && inj->rx_overflow(pkt.serial)) {
+      // Forced Rx-queue overflow: discard at the NIU boundary as if no
+      // buffer slot existed, but still free the fabric credit.
+      ctrl_.stats().rx_dropped.inc();
+      network_.consume_done(ctrl_.node(), prio);
+      continue;
+    }
 
     co_await sim::delay(kernel_,
                         params_.clock.to_ticks(params_.per_message_cycles));

@@ -1,0 +1,17 @@
+// CRC-32 (the IEEE 802.3 polynomial, reflected form 0xEDB88320), used by the
+// reliable-delivery layer to detect payload corruption injected on the wire.
+// Table-driven; the table is built once at namespace-scope initialisation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace sv::sim {
+
+/// CRC of `data`, optionally continuing from a previous partial `crc`
+/// (pass the return value of an earlier call to chain buffers).
+[[nodiscard]] std::uint32_t crc32(std::span<const std::byte> data,
+                                  std::uint32_t crc = 0);
+
+}  // namespace sv::sim

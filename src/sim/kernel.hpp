@@ -16,6 +16,10 @@ namespace sv::trace {
 class Tracer;
 }  // namespace sv::trace
 
+namespace sv::fault {
+class Injector;
+}  // namespace sv::fault
+
 namespace sv::sim {
 
 class Kernel {
@@ -64,12 +68,19 @@ class Kernel {
   [[nodiscard]] trace::Tracer* tracer() const { return tracer_; }
   void set_tracer(trace::Tracer* tracer) { tracer_ = tracer; }
 
+  /// Fault injector, or nullptr when fault injection is off. Hook sites
+  /// must treat nullptr as "inject nothing" — like the tracer, the null
+  /// check is the entire disabled-path cost.
+  [[nodiscard]] fault::Injector* fault_injector() const { return fault_; }
+  void set_fault_injector(fault::Injector* fault) { fault_ = fault; }
+
  private:
   EventQueue events_;
   Tick now_ = 0;
   std::uint64_t executed_ = 0;
   std::uint64_t event_limit_ = 0;
   trace::Tracer* tracer_ = nullptr;
+  fault::Injector* fault_ = nullptr;
 };
 
 /// Base class for named simulated components.

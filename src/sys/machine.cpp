@@ -3,6 +3,11 @@
 namespace sv::sys {
 
 Machine::Machine(Params params) : params_(params) {
+  if (params_.fault.enabled()) {
+    fault_ = std::make_unique<fault::Injector>(kernel_, "fault",
+                                               params_.fault);
+    kernel_.set_fault_injector(fault_.get());
+  }
   if (params_.net == NetKind::kFatTree) {
     net::FatTreeNetwork::Params np;
     np.nodes = params_.nodes;

@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "net/fat_tree.hpp"
 #include "net/network.hpp"
 #include "sys/node.hpp"
@@ -23,6 +24,10 @@ class Machine {
     net::Link::Params link;
     sim::Tick ideal_latency = 500 * sim::kNanosecond;
     Node::Params node;  // template applied to every node
+    /// Fault-injection plan. Default-constructed => no injector is ever
+    /// created, so a fault-free machine is bit-identical to one built
+    /// before the fault subsystem existed.
+    fault::Plan fault;
   };
 
   explicit Machine(Params params);
@@ -44,12 +49,16 @@ class Machine {
   /// The attached tracer, or nullptr if enable_tracing was never called.
   [[nodiscard]] trace::Tracer* tracer() { return tracer_.get(); }
 
+  /// The fault injector, or nullptr when Params::fault injects nothing.
+  [[nodiscard]] fault::Injector* fault_injector() { return fault_.get(); }
+
  private:
   Params params_;
   sim::Kernel kernel_;
   std::unique_ptr<net::Network> network_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::unique_ptr<trace::Tracer> tracer_;
+  std::unique_ptr<fault::Injector> fault_;
 };
 
 }  // namespace sv::sys

@@ -14,6 +14,22 @@ sim::StatRegistry collect_stats(Machine& machine) {
           static_cast<double>(machine.network().packets_delivered().value()));
   reg.set("net.mean_transit_us",
           machine.network().transit_ps().mean() / 1e6);
+  const auto audit = machine.network().audit();
+  reg.set("net.packets_injected", static_cast<double>(audit.injected));
+  reg.set("net.packets_dropped", static_cast<double>(audit.dropped));
+
+  if (auto* inj = machine.fault_injector()) {
+    const auto& fs = inj->stats();
+    reg.set("fault.drops", static_cast<double>(fs.drops.value()));
+    reg.set("fault.corrupts", static_cast<double>(fs.corrupts.value()));
+    reg.set("fault.link_downs", static_cast<double>(fs.link_downs.value()));
+    reg.set("fault.router_stalls",
+            static_cast<double>(fs.router_stalls.value()));
+    reg.set("fault.starvations",
+            static_cast<double>(fs.starvations.value()));
+    reg.set("fault.rx_overflows",
+            static_cast<double>(fs.rx_overflows.value()));
+  }
 
   for (sim::NodeId i = 0; i < machine.size(); ++i) {
     Node& node = machine.node(i);

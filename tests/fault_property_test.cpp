@@ -1,0 +1,109 @@
+// Property test for the reliable-delivery layer: across 32 master seeds,
+// with the fabric dropping and corrupting up to ~10% of packets, a
+// ReliableChannel stream must deliver every payload exactly once, in
+// order, byte-identical to what was sent — and the network must conserve
+// packets (delivered + dropped == injected) once the stream quiesces.
+//
+// Payload sizes and contents vary per message (driven by a host-side Rng
+// derived from the seed) so header/CRC handling is exercised across the
+// whole frame-size range, not just one shape.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "msg/reliable.hpp"
+#include "sim/random.hpp"
+#include "tests/test_util.hpp"
+
+namespace sv {
+namespace {
+
+constexpr std::uint64_t kCount = 60;
+
+class FaultProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FaultProperty, ExactlyOnceInOrderUnderLossAndCorruption) {
+  const std::uint64_t seed = GetParam();
+
+  auto mp = test::small_machine_params(2);
+  mp.fault.seed = seed;
+  mp.fault.drop_rate = 0.08;
+  mp.fault.corrupt_rate = 0.08;
+  sys::Machine machine(mp);
+  const auto map = machine.addr_map();
+
+  msg::ReliableChannel::Params cp;
+  cp.retransmit.base_timeout = 20 * sim::kMicrosecond;
+
+  auto ep0 = machine.node(0).make_endpoint();
+  auto ep1 = machine.node(1).make_endpoint();
+  msg::ReliableChannel tx(ep0, map, 0, cp);
+  msg::ReliableChannel rx(ep1, map, 1, cp);
+  tx.start();
+  rx.start();
+
+  // Pre-generate the message sequence host-side so the receiver can check
+  // content, not just count.
+  sim::Rng payload_rng(seed ^ 0x9E3779B97F4A7C15ull);
+  std::vector<std::vector<std::byte>> sent(kCount);
+  for (auto& p : sent) {
+    p.resize(1 + payload_rng.below(msg::ReliableChannel::kMaxPayload));
+    for (auto& b : p) {
+      b = static_cast<std::byte>(payload_rng.below(256));
+    }
+  }
+
+  machine.node(0).ap().run(
+      [](msg::ReliableChannel* ch,
+         const std::vector<std::vector<std::byte>>* msgs) -> sim::Co<void> {
+        for (const auto& m : *msgs) {
+          co_await ch->send(1, m);
+        }
+      }(&tx, &sent));
+
+  std::vector<std::vector<std::byte>> got;
+  machine.node(1).ap().run(
+      [](msg::ReliableChannel* ch,
+         std::vector<std::vector<std::byte>>* out) -> sim::Co<void> {
+        for (std::uint64_t i = 0; i < kCount; ++i) {
+          out->push_back(co_await ch->recv(0));
+        }
+      }(&rx, &got));
+
+  // Finish the stream, then quiesce the tail (final ACKs are droppable
+  // too and may need a timeout round).
+  test::drive(
+      machine.kernel(),
+      [&] {
+        return got.size() == kCount && tx.unacked() == 0 &&
+               machine.network().audit().balanced();
+      },
+      1000 * sim::kMillisecond);
+
+  // Exactly once, in order, byte-identical.
+  ASSERT_EQ(got.size(), sent.size());
+  for (std::size_t i = 0; i < sent.size(); ++i) {
+    EXPECT_EQ(got[i], sent[i]) << "payload " << i << " mismatch";
+  }
+  EXPECT_EQ(rx.stats().payloads_delivered.value(), kCount);
+  EXPECT_FALSE(tx.failed(1));
+
+  // Corruption is invisible above the channel: flipped bits are caught by
+  // the CRC, never delivered. (Not an equality: a frame corrupted on one
+  // fat-tree hop can still be dropped on a later one, and never arrive to
+  // be rejected.)
+  ASSERT_NE(machine.fault_injector(), nullptr);
+  const auto& fs = machine.fault_injector()->stats();
+  EXPECT_LE(rx.stats().corrupt_rejected.value() +
+                tx.stats().corrupt_rejected.value(),
+            fs.corrupts.value());
+
+  test::expect_network_conserves(machine);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FaultProperty,
+                         ::testing::Range<std::uint64_t>(1, 33));
+
+}  // namespace
+}  // namespace sv

@@ -8,6 +8,7 @@
 
 #include "sim/random.hpp"
 #include "tests/test_util.hpp"
+#include "trace/trace.hpp"
 #include "xfer/approaches.hpp"
 
 namespace sv {
@@ -157,6 +158,7 @@ TEST_F(RobustnessTest, BlockOpBoundsAreEnforced) {
 }
 
 TEST_F(RobustnessTest, DropPolicyUnderSustainedOverload) {
+  machine.enable_tracing();
   auto& rq = ctrl(1).rxq(sys::Node::kRxUser1);
   rq.full_policy = niu::RxFullPolicy::kDrop;
   rq.slots = 4;
@@ -180,6 +182,23 @@ TEST_F(RobustnessTest, DropPolicyUnderSustainedOverload) {
   ctrl(1).rx_consumer_update(sys::Node::kRxUser1,
                              static_cast<std::uint16_t>(rq.consumer + 4));
   EXPECT_TRUE(rq.empty());
+
+  // Let any straggling packets land, then cross-check: every drop counted
+  // by CTRL must also appear as an "rx drop" span on n1's RxU trace lane
+  // (and vice versa) — the stat and the trace are two views of one event.
+  machine.kernel().run_until(machine.kernel().now() +
+                             200 * sim::kMicrosecond);
+  ASSERT_NE(machine.tracer(), nullptr);
+  const auto& tracks = machine.tracer()->tracks();
+  std::uint64_t traced_drops = 0;
+  machine.tracer()->for_each([&](const trace::Event& ev) {
+    if (ev.kind == trace::EventKind::kSpan && ev.name == "rx drop" &&
+        tracks[ev.track].process == "n1" &&
+        tracks[ev.track].name == "NIU.RxU") {
+      ++traced_drops;
+    }
+  });
+  EXPECT_EQ(traced_drops, ctrl(1).stats().rx_dropped.value());
 }
 
 /// Protection fuzz: a queue fed random descriptors either delivers valid

@@ -37,6 +37,19 @@ inline void run_co(sim::Kernel& kernel, sim::Co<void> co,
   drive(kernel, [&] { return done.fired(); }, timeout);
 }
 
+/// Packet-conservation invariant checker (used by every fault test): after
+/// `drain` of additional simulated time, everything the network's inject()
+/// accepted must be accounted for — delivered or dropped, nothing stuck.
+inline void expect_network_conserves(sys::Machine& machine,
+                                     sim::Tick drain = 2 * sim::kMillisecond) {
+  machine.kernel().run_until(machine.kernel().now() + drain);
+  const auto a = machine.network().audit();
+  EXPECT_TRUE(a.balanced())
+      << "packet conservation violated: injected=" << a.injected
+      << " delivered=" << a.delivered << " dropped=" << a.dropped
+      << " unaccounted=" << a.in_flight();
+}
+
 inline std::vector<std::byte> pattern_bytes(std::size_t n,
                                             std::uint8_t seed = 1) {
   std::vector<std::byte> v(n);

@@ -15,9 +15,17 @@
 //   dma       DMA write                        (bytes)
 //   scoma     random shared-memory traffic     (nodes, ops, words, seed)
 //   numa      random NUMA traffic              (nodes, ops, words, seed)
+//   reliable  ring traffic over ReliableChannel (nodes, count, bytes,
+//             window, timeout_us, give_up)
 //
 // Common keys: nodes=N net=fattree|ideal radix=K stats=0|1
 //   stats_format=text|json deadline_ms=N trace=FILE trace_buf=N
+//
+// Fault injection (all workloads): fault.drop_rate=P fault.corrupt_rate=P
+//   fault.link_down_rate=P fault.router_stall_rate=P fault.starve_rate=P
+//   fault.rx_overflow_rate=P fault.seed=N (see fault::Plan::from_config).
+//   Unreliable workloads will typically time out or hang under drops; the
+//   `reliable` workload recovers.
 #include <cstdio>
 #include <cstring>
 #include <iostream>
@@ -25,6 +33,7 @@
 #include <vector>
 
 #include "msg/dma.hpp"
+#include "msg/reliable.hpp"
 #include "shm/numa_region.hpp"
 #include "shm/scoma_region.hpp"
 #include "sim/config.hpp"
@@ -47,6 +56,7 @@ sys::Machine::Params machine_params(const sim::Config& cfg) {
   p.node.dram_size = cfg.get_u64("dram_mb", 16) * 1024 * 1024;
   p.node.scoma_size = cfg.get_u64("scoma_mb", 2) * 1024 * 1024;
   p.node.enable_scoma = cfg.get_bool("scoma", true);
+  p.fault = fault::Plan::from_config(cfg);
   return p;
 }
 
@@ -173,6 +183,87 @@ int run_dma(sys::Machine& machine, const sim::Config& cfg) {
   return 0;
 }
 
+int run_reliable(sys::Machine& machine, const sim::Config& cfg) {
+  const auto count = cfg.get_u64("count", 100);
+  const auto bytes = std::min<std::uint64_t>(
+      cfg.get_u64("bytes", 64), msg::ReliableChannel::kMaxPayload);
+  const auto map = machine.addr_map();
+
+  msg::ReliableChannel::Params cp;
+  cp.window = cfg.get_u64("window", 16);
+  cp.retransmit.base_timeout =
+      cfg.get_u64("timeout_us", 50) * sim::kMicrosecond;
+  cp.retransmit.give_up_after =
+      static_cast<unsigned>(cfg.get_u64("give_up", 8));
+
+  std::vector<std::unique_ptr<msg::Endpoint>> eps;
+  std::vector<std::unique_ptr<msg::ReliableChannel>> chans;
+  for (sim::NodeId n = 0; n < machine.size(); ++n) {
+    eps.push_back(std::make_unique<msg::Endpoint>(
+        machine.node(n).ap(), machine.node(n).endpoint_config()));
+    chans.push_back(
+        std::make_unique<msg::ReliableChannel>(*eps[n], map, n, cp));
+    chans[n]->set_give_up([&machine, n](sim::NodeId peer) {
+      std::fprintf(stderr, "svsim: n%u gave up on peer n%u\n", n, peer);
+      machine.node(n).niu().ctrl().shutdown_tx_queue(sys::Node::kTxUser0);
+    });
+    chans[n]->start();
+  }
+
+  // Ring traffic: every node streams `count` payloads to its right
+  // neighbour and consumes `count` from its left.
+  std::size_t done = 0;
+  for (sim::NodeId n = 0; n < machine.size(); ++n) {
+    machine.node(n).ap().run(
+        [](msg::ReliableChannel* ch, sim::NodeId self, std::size_t nodes,
+           std::uint64_t count_, std::uint64_t bytes_,
+           std::size_t* d) -> sim::Co<void> {
+          const auto right = static_cast<sim::NodeId>((self + 1) % nodes);
+          const auto left =
+              static_cast<sim::NodeId>((self + nodes - 1) % nodes);
+          for (std::uint64_t i = 0; i < count_; ++i) {
+            std::vector<std::byte> payload(bytes_);
+            for (std::size_t b = 0; b < payload.size(); ++b) {
+              payload[b] = static_cast<std::byte>(self + i + b);
+            }
+            co_await ch->send(right, payload);
+          }
+          for (std::uint64_t i = 0; i < count_; ++i) {
+            (void)co_await ch->recv(left);
+          }
+          ++*d;
+        }(chans[n].get(), n, machine.size(), count, bytes, &done));
+  }
+
+  const sim::Tick t0 = machine.kernel().now();
+  if (!sys::run_until(machine.kernel(),
+                      [&] { return done == machine.size(); },
+                      deadline(cfg, machine))) {
+    std::fprintf(stderr, "svsim: timed out\n");
+    return 1;
+  }
+  const double us = static_cast<double>(machine.kernel().now() - t0) / 1e6;
+  std::uint64_t retx = 0;
+  std::uint64_t corrupt = 0;
+  for (auto& ch : chans) {
+    retx += ch->stats().retransmitted.value();
+    corrupt += ch->stats().corrupt_rejected.value();
+  }
+  const auto audit = machine.network().audit();
+  std::printf(
+      "reliable ring: %zu nodes x %llu msgs x %llu B in %.1f us "
+      "(%.1f MB/s payload), %llu retransmits, %llu crc rejects, "
+      "%llu/%llu packets dropped\n",
+      machine.size(), static_cast<unsigned long long>(count),
+      static_cast<unsigned long long>(bytes), us,
+      static_cast<double>(machine.size() * count * bytes) / us,
+      static_cast<unsigned long long>(retx),
+      static_cast<unsigned long long>(corrupt),
+      static_cast<unsigned long long>(audit.dropped),
+      static_cast<unsigned long long>(audit.injected));
+  return 0;
+}
+
 int run_shm(sys::Machine& machine, const sim::Config& cfg, bool scoma) {
   const auto ops = cfg.get_u64("ops", 200);
   const auto words = cfg.get_u64("words", 16);
@@ -231,7 +322,7 @@ int run_shm(sys::Machine& machine, const sim::Config& cfg, bool scoma) {
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: svsim <msg|express|xfer|dma|scoma|numa> "
+                 "usage: svsim <msg|express|xfer|dma|scoma|numa|reliable> "
                  "[key=value ...]\n");
     return 2;
   }
@@ -266,6 +357,8 @@ int main(int argc, char** argv) {
     rc = run_shm(machine, cfg, true);
   } else if (workload == "numa") {
     rc = run_shm(machine, cfg, false);
+  } else if (workload == "reliable") {
+    rc = run_reliable(machine, cfg);
   } else {
     std::fprintf(stderr, "svsim: unknown workload '%s'\n",
                  workload.c_str());
