@@ -30,6 +30,30 @@ inline std::string g_trace_file;  // NOLINT(misc-definitions-in-headers)
 /// injector is created and the run is bit-identical to a fault-free build.
 inline fault::Plan g_fault_plan;  // NOLINT(misc-definitions-in-headers)
 
+/// Worker threads from --threads=N; 0 (the default) keeps the classic
+/// sequential machine. Honored by benches that build partition-safe
+/// machines via parallel_machine_params (bench_parallel); benches that
+/// drive machine.kernel() directly stay sequential regardless.
+inline unsigned g_threads = 0;  // NOLINT(misc-definitions-in-headers)
+
+/// Strip a leading --threads=N from argv. Call before
+/// benchmark::Initialize, which rejects flags it does not know.
+inline void parse_threads_flag(int& argc, char** argv) {
+  int w = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    constexpr std::string_view kFlag = "--threads=";
+    if (arg.substr(0, kFlag.size()) == kFlag) {
+      g_threads = static_cast<unsigned>(
+          std::strtoul(std::string(arg.substr(kFlag.size())).c_str(),
+                       nullptr, 10));
+    } else {
+      argv[w++] = argv[i];
+    }
+  }
+  argc = w;
+}
+
 /// Strip a leading --trace=FILE from argv. Call before
 /// benchmark::Initialize, which rejects flags it does not know.
 inline void parse_trace_flag(int& argc, char** argv) {
@@ -97,6 +121,22 @@ inline sys::Machine::Params default_machine_params(std::size_t nodes = 2) {
   p.node.scoma_size = 2ull * 1024 * 1024;
   p.node.numa_backing_size = 16ull * 1024 * 1024;
   p.fault = g_fault_plan;
+  return p;
+}
+
+/// Machine for partition-safe multi-node benches: ideal network (the only
+/// partitionable fabric) with `threads` worker domains — pass
+/// bench::g_threads to honor the --threads flag. The link latency is the
+/// epoch length (lookahead) in partitioned mode; a generous 4 us keeps the
+/// per-epoch barrier cost amortized so the bench measures simulation work,
+/// not synchronization. Sequential rows use the same latency, so the
+/// self-relative comparison is apples-to-apples.
+inline sys::Machine::Params parallel_machine_params(std::size_t nodes,
+                                                    unsigned threads) {
+  auto p = default_machine_params(nodes);
+  p.net = sys::Machine::NetKind::kIdeal;
+  p.ideal_latency = 16 * sim::kMicrosecond;
+  p.threads = threads;
   return p;
 }
 

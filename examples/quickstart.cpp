@@ -73,7 +73,7 @@ int main() {
               "(mean transit %.2f us)\n",
               static_cast<double>(machine.kernel().now()) / 1e6,
               static_cast<unsigned long long>(
-                  net.packets_delivered().value()),
+                  net.packets_delivered()),
               net.transit_ps().mean() / 1e6);
   return 0;
 }

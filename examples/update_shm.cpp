@@ -38,7 +38,7 @@ struct Run {
 Run run_strategy(sys::Machine& machine, int mode, unsigned dirty_lines) {
   auto& kernel = machine.kernel();
   auto& ctrl0 = machine.node(0).niu().ctrl();
-  const auto packets0 = machine.network().packets_delivered().value();
+  const auto packets0 = machine.network().packets_delivered();
   const sim::Tick t0 = kernel.now();
 
   for (int round = 0; round < kRounds; ++round) {
@@ -88,7 +88,7 @@ Run run_strategy(sys::Machine& machine, int mode, unsigned dirty_lines) {
   }
 
   return Run{kernel.now() - t0,
-             machine.network().packets_delivered().value() - packets0};
+             machine.network().packets_delivered() - packets0};
 }
 
 }  // namespace

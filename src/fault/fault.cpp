@@ -39,84 +39,133 @@ std::uint64_t Injector::stream_seed(std::uint64_t master,
   return z ^ (z >> 31);
 }
 
-Injector::Injector(sim::Kernel& kernel, std::string name, Plan plan)
-    : SimObject(kernel, std::move(name)),
-      plan_(plan),
-      drop_rng_(stream_seed(plan.seed, "link.drop")),
-      corrupt_rng_(stream_seed(plan.seed, "link.corrupt")),
-      down_rng_(stream_seed(plan.seed, "link.down")),
-      stall_rng_(stream_seed(plan.seed, "router.stall")),
-      starve_rng_(stream_seed(plan.seed, "router.starve")),
-      overflow_rng_(stream_seed(plan.seed, "rxu.overflow")) {}
+std::uint64_t Injector::lane_seed(std::uint64_t master,
+                                  std::string_view stream,
+                                  std::uint32_t lane) {
+  std::uint64_t z = stream_seed(master, stream) ^
+                    ((lane + 1ULL) * 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
 
-void Injector::mark(const char* what, std::uint64_t flow) {
-  if (trace::Tracer* tr = kernel_.tracer()) {
-    const trace::TrackId t = tr->track("net", "faults", "fault");
-    tr->instant(t, what, now(), flow);
+Injector::Lane::Lane(std::uint64_t master, std::uint32_t index)
+    : drop(lane_seed(master, "link.drop", index)),
+      corrupt(lane_seed(master, "link.corrupt", index)),
+      down(lane_seed(master, "link.down", index)),
+      stall(lane_seed(master, "router.stall", index)),
+      starve(lane_seed(master, "router.starve", index)),
+      overflow(lane_seed(master, "rxu.overflow", index)) {}
+
+Injector::Injector(std::string name, Plan plan, std::size_t lanes)
+    : name_(std::move(name)), plan_(plan) {
+  for (std::size_t i = 0; i < lanes; ++i) {
+    lanes_.emplace_back(plan_.seed, static_cast<std::uint32_t>(i));
   }
 }
 
-bool Injector::drop_packet(std::uint64_t flow) {
-  if (plan_.drop_rate <= 0.0 || !drop_rng_.chance(plan_.drop_rate)) {
+Injector::Lane& Injector::lane(std::uint32_t i) {
+  while (i >= lanes_.size()) {
+    lanes_.emplace_back(plan_.seed, static_cast<std::uint32_t>(lanes_.size()));
+  }
+  return lanes_[i];
+}
+
+Stats Injector::stats() const {
+  Stats s;
+  for (const Lane& l : lanes_) {
+    s.drops.inc(l.stats.drops.value());
+    s.corrupts.inc(l.stats.corrupts.value());
+    s.link_downs.inc(l.stats.link_downs.value());
+    s.router_stalls.inc(l.stats.router_stalls.value());
+    s.starvations.inc(l.stats.starvations.value());
+    s.rx_overflows.inc(l.stats.rx_overflows.value());
+  }
+  return s;
+}
+
+void Injector::mark(sim::Kernel& k, std::uint32_t lane, const char* what,
+                    std::uint64_t flow) {
+  if (trace::Tracer* tr = k.tracer()) {
+    const trace::TrackId t =
+        tr->track("net", "faults.n" + std::to_string(lane), "fault");
+    tr->instant(t, what, k.now(), flow);
+  }
+}
+
+bool Injector::drop_packet(sim::Kernel& k, std::uint32_t l,
+                           std::uint64_t flow) {
+  Lane& ln = lane(l);
+  if (plan_.drop_rate <= 0.0 || !ln.drop.chance(plan_.drop_rate)) {
     return false;
   }
-  stats_.drops.inc();
-  mark("fault: drop", flow);
+  ln.stats.drops.inc();
+  mark(k, l, "fault: drop", flow);
   return true;
 }
 
-bool Injector::corrupt_packet(std::uint64_t flow) {
-  if (plan_.corrupt_rate <= 0.0 || !corrupt_rng_.chance(plan_.corrupt_rate)) {
+bool Injector::corrupt_packet(sim::Kernel& k, std::uint32_t l,
+                              std::uint64_t flow) {
+  Lane& ln = lane(l);
+  if (plan_.corrupt_rate <= 0.0 || !ln.corrupt.chance(plan_.corrupt_rate)) {
     return false;
   }
-  stats_.corrupts.inc();
-  mark("fault: corrupt", flow);
+  ln.stats.corrupts.inc();
+  mark(k, l, "fault: corrupt", flow);
   return true;
 }
 
-void Injector::corrupt(std::vector<std::byte>& payload) {
+void Injector::corrupt(std::uint32_t l, std::vector<std::byte>& payload) {
   if (payload.empty()) {
     return;
   }
-  const std::uint64_t bit = corrupt_rng_.below(payload.size() * 8);
+  Lane& ln = lane(l);
+  const std::uint64_t bit = ln.corrupt.below(payload.size() * 8);
   payload[bit / 8] ^= static_cast<std::byte>(1U << (bit % 8));
 }
 
-sim::Tick Injector::link_down_window(std::uint64_t flow) {
-  if (plan_.link_down_rate <= 0.0 || !down_rng_.chance(plan_.link_down_rate)) {
+sim::Tick Injector::link_down_window(sim::Kernel& k, std::uint32_t l,
+                                     std::uint64_t flow) {
+  Lane& ln = lane(l);
+  if (plan_.link_down_rate <= 0.0 ||
+      !ln.down.chance(plan_.link_down_rate)) {
     return 0;
   }
-  stats_.link_downs.inc();
-  mark("fault: link down", flow);
+  ln.stats.link_downs.inc();
+  mark(k, l, "fault: link down", flow);
   return plan_.link_down_ticks;
 }
 
-std::uint32_t Injector::router_stall_cycles() {
+std::uint32_t Injector::router_stall_cycles(sim::Kernel& k, std::uint32_t l) {
+  Lane& ln = lane(l);
   if (plan_.router_stall_rate <= 0.0 ||
-      !stall_rng_.chance(plan_.router_stall_rate)) {
+      !ln.stall.chance(plan_.router_stall_rate)) {
     return 0;
   }
-  stats_.router_stalls.inc();
-  mark("fault: router stall", 0);
+  ln.stats.router_stalls.inc();
+  mark(k, l, "fault: router stall", 0);
   return plan_.router_stall_cycles;
 }
 
-std::uint32_t Injector::starvation_cycles() {
-  if (plan_.starve_rate <= 0.0 || !starve_rng_.chance(plan_.starve_rate)) {
+std::uint32_t Injector::starvation_cycles(sim::Kernel& k, std::uint32_t l) {
+  Lane& ln = lane(l);
+  if (plan_.starve_rate <= 0.0 || !ln.starve.chance(plan_.starve_rate)) {
     return 0;
   }
-  stats_.starvations.inc();
-  mark("fault: starvation", 0);
+  ln.stats.starvations.inc();
+  mark(k, l, "fault: starvation", 0);
   return plan_.starve_cycles;
 }
 
-bool Injector::rx_overflow(std::uint64_t flow) {
+bool Injector::rx_overflow(sim::Kernel& k, std::uint32_t l,
+                           std::uint64_t flow) {
+  Lane& ln = lane(l);
   if (plan_.rx_overflow_rate <= 0.0 ||
-      !overflow_rng_.chance(plan_.rx_overflow_rate)) {
+      !ln.overflow.chance(plan_.rx_overflow_rate)) {
     return false;
   }
-  stats_.rx_overflows.inc();
-  mark("fault: rx overflow", flow);
+  ln.stats.rx_overflows.inc();
+  mark(k, l, "fault: rx overflow", flow);
   return true;
 }
 

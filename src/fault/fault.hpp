@@ -8,15 +8,22 @@
 // disabled-path cost, so a run with no injector is bit-identical to a
 // build without the subsystem.
 //
-// Every fault category draws from its own sim::Rng seeded from a named
-// stream ("link.drop", "link.corrupt", ...) mixed with one master seed, so
-// the decision sequence of one category is independent of whether another
-// category is enabled, and any observed failure replays exactly from the
-// master seed alone.
+// Decisions are drawn from per-*lane* RNG streams, where a lane is the
+// hook site's stable identity: the source node for IdealNetwork wire
+// faults, the creation-order link/router index in the fat tree, the node
+// id for Rx overflow. Each (category, lane) stream is seeded from the
+// master seed alone, so the decision sequence a given hook site sees is
+// independent of every other site's traffic — which is what lets a
+// machine partitioned into per-node event domains replay exactly the
+// fault schedule of the sequential run (and lets any observed failure
+// replay from the master seed alone). One Injector is shared by all
+// domains; a lane is only ever exercised from the domain that owns it, so
+// no locking is needed.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -75,38 +82,50 @@ struct Stats {
   sim::Counter rx_overflows;
 };
 
-class Injector : public sim::SimObject {
+class Injector {
  public:
-  Injector(sim::Kernel& kernel, std::string name, Plan plan);
+  /// `lanes` pre-allocates that many lanes; more are grown on demand, but
+  /// on-demand growth is only safe while a single event domain is running
+  /// (the fat-tree case). A partitioned machine must pre-allocate every
+  /// lane its domains will touch.
+  Injector(std::string name, Plan plan, std::size_t lanes = 1);
 
+  Injector(const Injector&) = delete;
+  Injector& operator=(const Injector&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
   [[nodiscard]] const Plan& plan() const { return plan_; }
-  [[nodiscard]] const Stats& stats() const { return stats_; }
 
-  // --- Hook-point decisions. Each call advances only its own stream. ---
+  /// Counts aggregated over all lanes, in lane order.
+  [[nodiscard]] Stats stats() const;
 
-  /// True: the packet is lost on the wire. `flow` is the packet serial,
-  /// used to tag the trace marker.
-  bool drop_packet(std::uint64_t flow);
+  // --- Hook-point decisions. Each call advances only the (category, lane)
+  // stream it names; `k` is the calling domain's kernel, used for the
+  // current time and the trace marker. `flow` tags the marker. ---
+
+  /// True: the packet is lost on the wire.
+  bool drop_packet(sim::Kernel& k, std::uint32_t lane, std::uint64_t flow);
 
   /// True: the packet's payload should be corrupted (call corrupt()).
-  bool corrupt_packet(std::uint64_t flow);
+  bool corrupt_packet(sim::Kernel& k, std::uint32_t lane, std::uint64_t flow);
 
   /// Flip one uniformly-chosen bit of `payload` (no-op when empty).
-  void corrupt(std::vector<std::byte>& payload);
+  void corrupt(std::uint32_t lane, std::vector<std::byte>& payload);
 
   /// Nonzero: the link goes down for that many ticks before this packet
   /// can serialize.
-  sim::Tick link_down_window(std::uint64_t flow);
+  sim::Tick link_down_window(sim::Kernel& k, std::uint32_t lane,
+                             std::uint64_t flow);
 
   /// Nonzero: the router output port stalls for that many cycles
   /// (backpressure bubble) before forwarding.
-  std::uint32_t router_stall_cycles();
+  std::uint32_t router_stall_cycles(sim::Kernel& k, std::uint32_t lane);
 
   /// Nonzero: a low-priority packet is starved for that many extra cycles.
-  std::uint32_t starvation_cycles();
+  std::uint32_t starvation_cycles(sim::Kernel& k, std::uint32_t lane);
 
   /// True: the RxU discards this packet as a forced Rx-queue overflow.
-  bool rx_overflow(std::uint64_t flow);
+  bool rx_overflow(sim::Kernel& k, std::uint32_t lane, std::uint64_t flow);
 
   /// Seed for a named stream: master seed mixed with an FNV-1a hash of the
   /// stream name, so streams are decorrelated but fully determined by
@@ -114,18 +133,35 @@ class Injector : public sim::SimObject {
   [[nodiscard]] static std::uint64_t stream_seed(std::uint64_t master,
                                                  std::string_view stream);
 
- private:
-  /// Record the fault on the shared "net/faults" trace lane (if tracing).
-  void mark(const char* what, std::uint64_t flow);
+  /// Per-lane variant: stream_seed further mixed with the lane index.
+  [[nodiscard]] static std::uint64_t lane_seed(std::uint64_t master,
+                                               std::string_view stream,
+                                               std::uint32_t lane);
 
+ private:
+  struct Lane {
+    Lane(std::uint64_t master, std::uint32_t index);
+
+    sim::Rng drop;
+    sim::Rng corrupt;
+    sim::Rng down;
+    sim::Rng stall;
+    sim::Rng starve;
+    sim::Rng overflow;
+    Stats stats;
+  };
+
+  Lane& lane(std::uint32_t i);
+
+  /// Record the fault on the lane's "net"/"faults.n<lane>" trace track of
+  /// the calling domain's tracer (if tracing).
+  void mark(sim::Kernel& k, std::uint32_t lane, const char* what,
+            std::uint64_t flow);
+
+  std::string name_;
   Plan plan_;
-  Stats stats_;
-  sim::Rng drop_rng_;
-  sim::Rng corrupt_rng_;
-  sim::Rng down_rng_;
-  sim::Rng stall_rng_;
-  sim::Rng starve_rng_;
-  sim::Rng overflow_rng_;
+  // deque: lane references stay valid across on-demand growth.
+  std::deque<Lane> lanes_;
 };
 
 }  // namespace sv::fault

@@ -30,7 +30,7 @@ std::uint64_t ipow(std::uint64_t base, unsigned exp) {
 
 FatTreeNetwork::FatTreeNetwork(sim::Kernel& kernel, std::string name,
                                Params params)
-    : Network(kernel, std::move(name)), params_(params) {
+    : Network(kernel, std::move(name), params.nodes), params_(params) {
   if (params_.nodes == 0) {
     throw std::invalid_argument("FatTreeNetwork: zero nodes");
   }
@@ -54,6 +54,9 @@ FatTreeNetwork::FatTreeNetwork(sim::Kernel& kernel, std::string name,
       rp.num_outputs = 2 * k;
       rp.clock = params_.router_clock;
       rp.fall_through_cycles = params_.fall_through_cycles;
+      // Creation-order fault lane: stable for a given topology, so the
+      // fault schedule each router sees replays from the seed alone.
+      rp.fault_lane = static_cast<std::uint32_t>(routers_.size());
       auto route = [this, l, w](const Packet& p) {
         return route_at(l, w, p);
       };
@@ -77,7 +80,7 @@ FatTreeNetwork::FatTreeNetwork(sim::Kernel& kernel, std::string name,
 
     Link* down = new_link("ej" + std::to_string(node));
     down->set_sink([this, node](Packet&& p) {
-      count_delivery(p);
+      count_delivery(kernel_, p);
       assert(endpoints_[node] && "endpoint not attached");
       endpoints_[node](std::move(p));
     });
@@ -118,8 +121,10 @@ FatTreeNetwork::FatTreeNetwork(sim::Kernel& kernel, std::string name,
 }
 
 Link* FatTreeNetwork::new_link(std::string link_name) {
+  Link::Params lp = params_.link;
+  lp.fault_lane = static_cast<std::uint32_t>(links_.size());
   links_.push_back(std::make_unique<Link>(
-      kernel_, name() + "." + std::move(link_name), params_.link));
+      kernel_, name() + "." + std::move(link_name), lp));
   return links_.back().get();
 }
 
@@ -183,9 +188,9 @@ sim::Co<void> FatTreeNetwork::inject(Packet pkt) {
   pkt.inject_time = now();
   if (pkt.serial == 0) {
     // A tracing NIU already stamped a flow id; otherwise number here.
-    pkt.serial = next_serial_++;
+    pkt.serial = assign_serial(pkt.src);
   }
-  count_inject();
+  count_inject(pkt.src);
   co_await inject_links_[pkt.src]->send(std::move(pkt));
 }
 

@@ -30,7 +30,8 @@ sim::Co<void> Link::send(Packet pkt) {
   if (fault::Injector* inj = kernel_.fault_injector()) {
     // Transient outage: the wire is unusable for a window before this
     // packet's head can go out.
-    if (const sim::Tick down = inj->link_down_window(pkt.serial)) {
+    if (const sim::Tick down =
+            inj->link_down_window(kernel_, params_.fault_lane, pkt.serial)) {
       co_await sim::delay(kernel_, down);
     }
   }
@@ -51,7 +52,7 @@ sim::Co<void> Link::send(Packet pkt) {
 
   const sim::Tick prop = params_.clock.to_ticks(params_.propagation_cycles);
   if (fault::Injector* inj = kernel_.fault_injector()) {
-    if (inj->drop_packet(pkt.serial)) {
+    if (inj->drop_packet(kernel_, params_.fault_lane, pkt.serial)) {
       // The packet is lost on the wire. The receiver's buffer slot was
       // never filled, so the credit comes back after the propagation
       // delay (when the mangled tail would have been rejected) — without
@@ -62,8 +63,8 @@ sim::Co<void> Link::send(Packet pkt) {
       });
       co_return;
     }
-    if (inj->corrupt_packet(pkt.serial)) {
-      inj->corrupt(pkt.payload);
+    if (inj->corrupt_packet(kernel_, params_.fault_lane, pkt.serial)) {
+      inj->corrupt(params_.fault_lane, pkt.payload);
     }
   }
 

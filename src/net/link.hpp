@@ -30,6 +30,7 @@ class Link : public sim::SimObject {
     std::uint32_t bytes_per_cycle = 2;  // 16-bit channel
     sim::Cycles propagation_cycles = 3; // wire + synchronizer
     std::uint32_t credits_per_priority = 2;  // receiver buffer slots
+    std::uint32_t fault_lane = 0;  // fault::Injector stream this link draws
   };
 
   /// Called when a packet fully arrives at the receiving end.

@@ -7,13 +7,64 @@
 
 namespace sv::net {
 
+std::uint64_t Network::packets_delivered() const {
+  std::uint64_t n = 0;
+  for (const Shard& s : shards_) {
+    n += s.delivered.value();
+  }
+  return n;
+}
+
+std::uint64_t Network::packets_injected() const {
+  std::uint64_t n = 0;
+  for (const Shard& s : shards_) {
+    n += s.injected.value();
+  }
+  return n;
+}
+
+sim::Histogram Network::transit_ps() const {
+  sim::Histogram h;
+  for (const Shard& s : shards_) {
+    h.merge(s.transit);
+  }
+  return h;
+}
+
+Network::Audit Network::audit() const {
+  Audit a;
+  for (const Shard& s : shards_) {
+    a.injected += s.injected.value();
+    a.delivered += s.delivered.value();
+    a.dropped += s.dropped.value();
+  }
+  return a;
+}
+
 IdealNetwork::IdealNetwork(sim::Kernel& kernel, std::string name,
                            Params params)
-    : Network(kernel, std::move(name)), params_(params) {
+    : IdealNetwork(sim::DomainMap(kernel, params.nodes), std::move(name),
+                   params) {}
+
+IdealNetwork::IdealNetwork(const sim::DomainMap& domains, std::string name,
+                           Params params)
+    : Network(domains.of(0), std::move(name), params.nodes),
+      domains_(domains),
+      params_(params) {
+  if (domains_.nodes() != params_.nodes) {
+    throw std::invalid_argument(this->name() +
+                                ": domain map does not cover all nodes");
+  }
+  if (domains_.partitioned() && params_.latency == 0) {
+    throw std::invalid_argument(
+        this->name() + ": partitioned layout needs latency >= 1 (lookahead)");
+  }
   endpoints_.resize(params_.nodes);
+  wire_tracks_.resize(params_.nodes, trace::kNoTrack);
   inject_ports_.reserve(params_.nodes);
   for (std::size_t i = 0; i < params_.nodes; ++i) {
-    inject_ports_.push_back(std::make_unique<sim::Semaphore>(kernel, 1));
+    inject_ports_.push_back(std::make_unique<sim::Semaphore>(
+        domains_.of(static_cast<sim::NodeId>(i)), 1));
   }
 }
 
@@ -26,42 +77,53 @@ sim::Co<void> IdealNetwork::inject(Packet pkt) {
     throw std::out_of_range(name() + ": bad destination node");
   }
   assert(endpoints_[pkt.dest] && "destination endpoint not attached");
-  pkt.inject_time = now();
+  // Everything up to delivery runs in the source node's domain.
+  sim::Kernel& k = domains_.of(pkt.src);
+  pkt.inject_time = k.now();
   if (pkt.serial == 0) {
-    pkt.serial = next_serial_++;
+    pkt.serial = assign_serial(pkt.src);
   }
-  count_inject();
+  count_inject(pkt.src);
 
   auto& port = *inject_ports_[pkt.src];
   co_await port.acquire();
   const sim::Cycles ser_cycles =
       (pkt.wire_bytes() + params_.bytes_per_cycle - 1) /
       params_.bytes_per_cycle;
-  const sim::Tick ser_start = now();
-  co_await sim::delay(kernel_, params_.link_clock.to_ticks(ser_cycles));
-  if (trace::Tracer* tr = kernel_.tracer(); tr != nullptr && tr->enabled()) {
-    if (trace_track_ == trace::kNoTrack) {
-      trace_track_ = tr->track_for(name() + ".wire", "link");
+  const sim::Tick ser_start = k.now();
+  co_await sim::delay(k, params_.link_clock.to_ticks(ser_cycles));
+  if (trace::Tracer* tr = k.tracer(); tr != nullptr && tr->enabled()) {
+    trace::TrackId& track = wire_tracks_[pkt.src];
+    if (track == trace::kNoTrack) {
+      track = tr->track("net", "wire.n" + std::to_string(pkt.src), "link");
     }
-    tr->span(trace_track_, "pkt>n" + std::to_string(pkt.dest), ser_start,
-             now(), pkt.serial);
+    tr->span(track, "pkt>n" + std::to_string(pkt.dest), ser_start, k.now(),
+             pkt.serial);
   }
   port.release();
 
-  if (fault::Injector* inj = kernel_.fault_injector()) {
-    if (inj->drop_packet(pkt.serial)) {
-      count_drop();
+  if (fault::Injector* inj = k.fault_injector()) {
+    if (inj->drop_packet(k, pkt.src, pkt.serial)) {
+      count_drop(pkt.src);
       co_return;
     }
-    if (inj->corrupt_packet(pkt.serial)) {
-      inj->corrupt(pkt.payload);
+    if (inj->corrupt_packet(k, pkt.src, pkt.serial)) {
+      inj->corrupt(pkt.src, pkt.payload);
     }
   }
 
-  kernel_.schedule(params_.latency, [this, p = std::move(pkt)]() mutable {
-    count_delivery(p);
-    endpoints_[p.dest](std::move(p));
-  });
+  // Hand the packet to the destination domain through the mailbox. The
+  // (when, src, seq) key — not the order domains reach this line — fixes
+  // the delivery order, which is what keeps a partitioned run bit-identical
+  // to the sequential one. With latency >= 1, `when` is always past the
+  // current epoch's boundary, satisfying the conservative lookahead.
+  const sim::Tick when = k.now() + params_.latency;
+  const std::uint64_t seq = next_post_seq(pkt.src);
+  domains_.of(pkt.dest).post(
+      when, pkt.src, seq, [this, p = std::move(pkt)]() mutable {
+        count_delivery(domains_.of(p.dest), p);
+        endpoints_[p.dest](std::move(p));
+      });
 }
 
 void IdealNetwork::consume_done(sim::NodeId node, std::uint8_t priority) {

@@ -91,11 +91,13 @@ sim::Co<void> Router::output_process(unsigned out) {
       // Backpressure bubble on the output port, plus (for low-priority
       // traffic only) an extra starvation window modelling a high-priority
       // storm monopolizing the crossbar.
-      if (const std::uint32_t stall = inj->router_stall_cycles()) {
+      if (const std::uint32_t stall =
+              inj->router_stall_cycles(kernel_, params_.fault_lane)) {
         co_await sim::delay(kernel_, params_.clock.to_ticks(stall));
       }
       if (prio == kPriorityLow) {
-        if (const std::uint32_t starve = inj->starvation_cycles()) {
+        if (const std::uint32_t starve =
+                inj->starvation_cycles(kernel_, params_.fault_lane)) {
           co_await sim::delay(kernel_, params_.clock.to_ticks(starve));
         }
       }

@@ -30,6 +30,7 @@ class Router : public sim::SimObject {
     unsigned num_outputs = 8;
     sim::Clock clock{12500};
     sim::Cycles fall_through_cycles = 3;  // header decode + crossbar
+    std::uint32_t fault_lane = 0;  // fault::Injector stream this router draws
   };
 
   /// Maps a packet to the output port it must leave through.

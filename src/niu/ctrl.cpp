@@ -369,8 +369,12 @@ sim::Co<void> Ctrl::inject(net::Packet pkt) {
   if (tr != nullptr) {
     // All NIU-originated packets funnel through here: assign the flow id
     // that links this send to its link/router/deliver hops downstream.
+    // Namespaced by node (bit 62 keeps it disjoint from network-assigned
+    // serials) so the id depends only on this node's own send order, never
+    // on how sends from different nodes interleave.
     if (pkt.serial == 0) {
-      pkt.serial = tr->next_flow();
+      pkt.serial = (std::uint64_t{1} << 62) |
+                   (static_cast<std::uint64_t>(node_) << 40) | ++flow_seq_;
     }
     flow = pkt.serial;
     t0 = now();

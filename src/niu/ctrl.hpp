@@ -236,6 +236,7 @@ class Ctrl : public sim::SimObject {
 
   sim::NodeId node_;
   Params params_;
+  std::uint64_t flow_seq_ = 0;  // per-node flow ids for traced packets
   mem::DualPortedSram& asram_;
   mem::DualPortedSram& ssram_;
   mem::ClsSram& cls_;

@@ -65,7 +65,7 @@ sim::Co<void> RxU::loop() {
     vq_[prio].pop_front();
 
     if (fault::Injector* inj = kernel_.fault_injector();
-        inj != nullptr && inj->rx_overflow(pkt.serial)) {
+        inj != nullptr && inj->rx_overflow(kernel_, ctrl_.node(), pkt.serial)) {
       // Forced Rx-queue overflow: discard at the NIU boundary as if no
       // buffer slot existed, but still free the fabric credit.
       ctrl_.stats().rx_dropped.inc();

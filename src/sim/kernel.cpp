@@ -11,28 +11,60 @@ void Kernel::schedule_abs(Tick when, EventQueue::Callback fn) {
   events_.push(when, std::move(fn));
 }
 
+void Kernel::post(Tick when, std::uint32_t src, std::uint64_t seq,
+                  EventQueue::Callback fn) {
+  if (deferred_mailbox_) {
+    const std::lock_guard<std::mutex> lock(staged_mu_);
+    staged_.push_back(CrossMsg{when, src, seq, std::move(fn)});
+    return;
+  }
+  mailbox_.push(CrossMsg{when, src, seq, std::move(fn)});
+}
+
+void Kernel::commit_mailbox() {
+  const std::lock_guard<std::mutex> lock(staged_mu_);
+  for (auto& m : staged_) {
+    mailbox_.push(std::move(m));
+  }
+  staged_.clear();
+}
+
+bool Kernel::dispatch_one(Tick bound) {
+  const Tick next = next_event_time();
+  if (next == kTickInvalid || next > bound) {
+    return false;
+  }
+  now_ = next;
+  // Inject every mailbox message due now, in (src, seq) order: the heap
+  // hands them over sorted, and each gets a fresh queue sequence number, so
+  // they run after events already scheduled at this tick and before
+  // anything scheduled while it executes — independent of when they were
+  // posted, which is the property that keeps single-domain and partitioned
+  // runs identical.
+  while (!mailbox_.empty() && mailbox_.top().when == next) {
+    events_.push(next, std::move(mailbox_.top().fn));
+    mailbox_.pop();
+  }
+  auto fn = events_.pop();
+  fn();
+  ++executed_;
+  ++run_executed_;
+  if (event_limit_ != 0 && run_executed_ >= event_limit_) {
+    throw std::runtime_error("Kernel: event limit exceeded (runaway?)");
+  }
+  return true;
+}
+
 Tick Kernel::run() {
-  while (!events_.empty()) {
-    now_ = events_.next_time();
-    auto fn = events_.pop();
-    fn();
-    ++executed_;
-    if (event_limit_ != 0 && executed_ >= event_limit_) {
-      throw std::runtime_error("Kernel: event limit exceeded (runaway?)");
-    }
+  run_executed_ = 0;
+  while (dispatch_one(kTickInvalid)) {
   }
   return now_;
 }
 
 Tick Kernel::run_until(Tick t) {
-  while (!events_.empty() && events_.next_time() <= t) {
-    now_ = events_.next_time();
-    auto fn = events_.pop();
-    fn();
-    ++executed_;
-    if (event_limit_ != 0 && executed_ >= event_limit_) {
-      throw std::runtime_error("Kernel: event limit exceeded (runaway?)");
-    }
+  run_executed_ = 0;
+  while (dispatch_one(t)) {
   }
   if (now_ < t) {
     now_ = t;
@@ -40,15 +72,6 @@ Tick Kernel::run_until(Tick t) {
   return now_;
 }
 
-bool Kernel::step() {
-  if (events_.empty()) {
-    return false;
-  }
-  now_ = events_.next_time();
-  auto fn = events_.pop();
-  fn();
-  ++executed_;
-  return true;
-}
+bool Kernel::step() { return dispatch_one(kTickInvalid); }
 
 }  // namespace sv::sim

@@ -1,13 +1,30 @@
 // The discrete-event simulation kernel.
 //
-// A Kernel owns the event queue and the global notion of "now". All simulated
-// hardware units (SimObjects) hold a reference to one Kernel and schedule
-// their activity on it. Execution is strictly sequential and deterministic:
-// events at equal times run in scheduling order.
+// A Kernel owns the event queue and the notion of "now" for one *event
+// domain*. All simulated hardware units (SimObjects) hold a reference to one
+// Kernel and schedule their activity on it. Execution within a domain is
+// strictly sequential and deterministic: events at equal times run in
+// scheduling order.
+//
+// A whole machine is either one domain (the classic sequential case) or one
+// domain per node (sim::ParallelKernel). Work that crosses a domain boundary
+// — a packet handed from one node to another — must not go through
+// schedule(), whose tie-break is local push order; it goes through post(),
+// the cross-domain mailbox. Mailbox messages carry an explicit
+// (tick, source, sequence) key and are injected into the event queue at the
+// moment the domain's clock first advances to their tick, in key order:
+// after every event already queued at that tick, before anything scheduled
+// during it. Because the rule references only the key and the local queue —
+// never global arrival order — a single-domain run and an N-domain run
+// interleave each node's events identically, which is what makes parallel
+// execution bit-reproducible against the sequential kernel.
 #pragma once
 
 #include <cstdint>
+#include <mutex>
+#include <queue>
 #include <string>
+#include <vector>
 
 #include "sim/event.hpp"
 #include "sim/types.hpp"
@@ -39,7 +56,28 @@ class Kernel {
   /// Schedule `fn` at an absolute time, which must be >= now().
   void schedule_abs(Tick when, EventQueue::Callback fn);
 
-  /// Run until the event queue drains. Returns the final time.
+  /// Cross-domain mailbox: deliver `fn` at absolute time `when`, ordered by
+  /// (when, src, seq) against every other posted message regardless of the
+  /// order post() calls arrive in. `seq` must be monotone per `src` (the
+  /// sender's own deterministic send order). `when` must be strictly ahead
+  /// of the sender's epoch — the conservative lookahead guarantee.
+  ///
+  /// Thread-safe in deferred mode (see set_deferred_mailbox); in immediate
+  /// mode it may only be called from this domain's executing events.
+  void post(Tick when, std::uint32_t src, std::uint64_t seq,
+            EventQueue::Callback fn);
+
+  /// Deferred mode (parallel execution): post() stages messages in a locked
+  /// side buffer, and they only become runnable when the epoch coordinator
+  /// calls commit_mailbox() at a barrier. Immediate mode (the default,
+  /// sequential execution): post() files messages directly.
+  void set_deferred_mailbox(bool on) { deferred_mailbox_ = on; }
+
+  /// Move staged messages into the runnable mailbox. Call only while no
+  /// worker is executing this domain (i.e. at an epoch barrier).
+  void commit_mailbox();
+
+  /// Run until the event queue and mailbox drain. Returns the final time.
   Tick run();
 
   /// Run events with time <= `t`; afterwards now() == t unless the queue
@@ -49,17 +87,23 @@ class Kernel {
   /// Run exactly one event if any is pending. Returns false when idle.
   bool step();
 
-  [[nodiscard]] bool idle() const { return events_.empty(); }
+  [[nodiscard]] bool idle() const {
+    return events_.empty() && mailbox_.empty();
+  }
 
-  /// Time of the next pending event, or kTickInvalid when idle.
+  /// Time of the next pending event or mailbox message, or kTickInvalid
+  /// when idle. Staged (uncommitted) messages are not considered.
   [[nodiscard]] Tick next_event_time() const {
-    return events_.empty() ? kTickInvalid : events_.next_time();
+    const Tick qt = events_.empty() ? kTickInvalid : events_.next_time();
+    const Tick mt = mailbox_.empty() ? kTickInvalid : mailbox_.top().when;
+    return qt < mt ? qt : mt;
   }
 
   [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
 
-  /// Hard cap on events per run() call, as a runaway guard for tests.
-  /// 0 disables the cap.
+  /// Hard cap on events per run()/run_until() call, as a runaway guard for
+  /// tests. 0 disables the cap. The budget is per call: each run() or
+  /// run_until() starts a fresh count.
   void set_event_limit(std::uint64_t limit) { event_limit_ = limit; }
 
   /// Timeline tracer, or nullptr when tracing is off. Instrumentation
@@ -75,9 +119,40 @@ class Kernel {
   void set_fault_injector(fault::Injector* fault) { fault_ = fault; }
 
  private:
+  struct CrossMsg {
+    Tick when;
+    std::uint32_t src;
+    std::uint64_t seq;
+    // Mutable for the same reason as EventQueue::Entry: moved out of the
+    // priority queue's const top(); ordering never inspects it.
+    mutable EventQueue::Callback fn;
+
+    bool operator>(const CrossMsg& o) const {
+      if (when != o.when) {
+        return when > o.when;
+      }
+      if (src != o.src) {
+        return src > o.src;
+      }
+      return seq > o.seq;
+    }
+  };
+  using Mailbox =
+      std::priority_queue<CrossMsg, std::vector<CrossMsg>, std::greater<>>;
+
+  /// Execute the earliest event no later than `bound`, first injecting any
+  /// mailbox messages due at its tick. Returns false when nothing <= bound
+  /// is pending. Throws when the per-run event budget is exhausted.
+  bool dispatch_one(Tick bound);
+
   EventQueue events_;
+  Mailbox mailbox_;
+  std::vector<CrossMsg> staged_;
+  std::mutex staged_mu_;
+  bool deferred_mailbox_ = false;
   Tick now_ = 0;
   std::uint64_t executed_ = 0;
+  std::uint64_t run_executed_ = 0;
   std::uint64_t event_limit_ = 0;
   trace::Tracer* tracer_ = nullptr;
   fault::Injector* fault_ = nullptr;

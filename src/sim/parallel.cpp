@@ -1,0 +1,118 @@
+#include "sim/parallel.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sv::sim {
+
+ParallelKernel::ParallelKernel(std::vector<Kernel*> domains, unsigned threads,
+                               Tick lookahead)
+    : domains_(std::move(domains)), lookahead_(lookahead) {
+  if (domains_.empty()) {
+    throw std::invalid_argument("ParallelKernel: no domains");
+  }
+  if (lookahead_ == 0) {
+    throw std::invalid_argument("ParallelKernel: lookahead must be >= 1");
+  }
+  for (Kernel* d : domains_) {
+    d->set_deferred_mailbox(true);
+  }
+  const unsigned n = std::clamp<unsigned>(
+      threads, 1U, static_cast<unsigned>(domains_.size()));
+  workers_.reserve(n);
+  for (unsigned id = 0; id < n; ++id) {
+    workers_.emplace_back([this, id] { worker_main(id); });
+  }
+}
+
+ParallelKernel::~ParallelKernel() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& w : workers_) {
+    w.join();
+  }
+}
+
+void ParallelKernel::worker_main(unsigned id) {
+  std::uint64_t seen = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      start_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) {
+        return;
+      }
+      seen = generation_;
+    }
+    // Outside the lock: each worker owns a fixed, disjoint set of domains,
+    // and the bound was published under mu_ before generation_ bumped.
+    std::exception_ptr err;
+    try {
+      const std::size_t stride = workers_.size();
+      for (std::size_t d = id; d < domains_.size(); d += stride) {
+        domains_[d]->run_until(epoch_end_);
+      }
+    } catch (...) {
+      err = std::current_exception();
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (err && !error_) {
+        error_ = err;
+      }
+      if (--running_ == 0) {
+        done_cv_.notify_one();
+      }
+    }
+  }
+}
+
+void ParallelKernel::run_epoch() {
+  epoch_end_ = epoch_start_ + lookahead_ - 1;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    running_ = static_cast<unsigned>(workers_.size());
+    ++generation_;
+    start_cv_.notify_all();
+    done_cv_.wait(lock, [&] { return running_ == 0; });
+    if (error_) {
+      auto err = error_;
+      error_ = nullptr;
+      std::rethrow_exception(err);
+    }
+  }
+  // All workers are parked (the wait above is the happens-before edge), so
+  // the coordinator may touch every domain.
+  for (Kernel* d : domains_) {
+    d->commit_mailbox();
+  }
+  now_ = epoch_end_;
+  epoch_start_ += lookahead_;
+}
+
+bool ParallelKernel::idle() const {
+  return std::all_of(domains_.begin(), domains_.end(),
+                     [](const Kernel* d) { return d->idle(); });
+}
+
+bool ParallelKernel::run_epochs_until(const std::function<bool()>& pred,
+                                      Tick deadline) {
+  if (pred()) {
+    return true;
+  }
+  while (epoch_start_ <= deadline) {
+    run_epoch();
+    if (pred()) {
+      return true;
+    }
+    if (idle()) {
+      return false;
+    }
+  }
+  return false;
+}
+
+}  // namespace sv::sim

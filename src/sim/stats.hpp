@@ -45,6 +45,16 @@ class Accumulator {
 
   void reset() { *this = Accumulator{}; }
 
+  /// Fold another accumulator into this one. Merging is order-sensitive for
+  /// the double sum, so callers that need reproducible aggregates must
+  /// merge shards in a fixed order (e.g. node id order).
+  void merge(const Accumulator& o) {
+    count_ += o.count_;
+    sum_ += o.sum_;
+    min_ = std::min(min_, o.min_);
+    max_ = std::max(max_, o.max_);
+  }
+
  private:
   std::uint64_t count_ = 0;
   double sum_ = 0.0;
@@ -77,6 +87,18 @@ class Histogram {
   void reset() {
     acc_.reset();
     buckets_.clear();
+  }
+
+  /// Fold another histogram into this one (bucket-wise). Same ordering
+  /// caveat as Accumulator::merge.
+  void merge(const Histogram& o) {
+    acc_.merge(o.acc_);
+    if (o.buckets_.size() > buckets_.size()) {
+      buckets_.resize(o.buckets_.size(), 0);
+    }
+    for (std::size_t i = 0; i < o.buckets_.size(); ++i) {
+      buckets_[i] += o.buckets_[i];
+    }
   }
 
  private:

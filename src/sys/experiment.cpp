@@ -16,6 +16,11 @@ bool run_until(sim::Kernel& kernel, const std::function<bool()>& pred,
   return true;
 }
 
+bool run_until(Machine& machine, const std::function<bool()>& pred,
+               sim::Tick deadline) {
+  return machine.run_epochs_until(pred, deadline);
+}
+
 bool run_programs(sim::Kernel& kernel, std::vector<sim::Co<void>> programs,
                   sim::Tick deadline,
                   std::vector<sim::Tick>* finish_times) {

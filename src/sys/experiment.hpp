@@ -19,6 +19,13 @@ namespace sv::sys {
 bool run_until(sim::Kernel& kernel, const std::function<bool()>& pred,
                sim::Tick deadline);
 
+/// Machine-level variant: drives the machine in whole lookahead epochs
+/// (Machine::run_epochs_until), which works for both the sequential and
+/// the partitioned layout and stops at identical instants in each. Use
+/// this wherever results are compared across --threads values.
+bool run_until(Machine& machine, const std::function<bool()>& pred,
+               sim::Tick deadline);
+
 /// Spawn one program per entry and run until all complete. Returns true on
 /// success, false on timeout. Completion times (per program) are appended
 /// to `finish_times` when non-null.

@@ -6,12 +6,12 @@ namespace sv::sys {
 
 sim::StatRegistry collect_stats(Machine& machine) {
   sim::StatRegistry reg;
-  const double now = static_cast<double>(machine.kernel().now());
+  const double now = static_cast<double>(machine.now());
 
   reg.set("sim.now_us", now / 1e6);
-  reg.set("sim.events", static_cast<double>(machine.kernel().events_executed()));
+  reg.set("sim.events", static_cast<double>(machine.events_executed()));
   reg.set("net.packets_delivered",
-          static_cast<double>(machine.network().packets_delivered().value()));
+          static_cast<double>(machine.network().packets_delivered()));
   reg.set("net.mean_transit_us",
           machine.network().transit_ps().mean() / 1e6);
   const auto audit = machine.network().audit();
@@ -42,7 +42,7 @@ sim::StatRegistry collect_stats(Machine& machine) {
     reg.set(p + "bus.interventions",
             static_cast<double>(bus.interventions.value()));
     reg.set(p + "bus.data_occupancy",
-            bus.data_busy.occupancy(machine.kernel().now()));
+            bus.data_busy.occupancy(machine.now()));
 
     const auto& cache = node.cache().stats();
     reg.set(p + "cache.read_hits",
@@ -83,7 +83,7 @@ sim::StatRegistry collect_stats(Machine& machine) {
                                 ctrl.block_txs.value() +
                                 ctrl.block_xfers.value()));
     reg.set(p + "ctrl.ibus_occupancy",
-            ctrl.ibus_busy.occupancy(machine.kernel().now()));
+            ctrl.ibus_busy.occupancy(machine.now()));
 
     const auto& abiu = node.niu().abiu().stats();
     reg.set(p + "abiu.express_stores",

@@ -34,16 +34,20 @@ struct TrackAddr {
   int tid = 0;
 };
 
-}  // namespace
-
-void write_chrome_trace(const Tracer& tracer, std::ostream& os,
-                        const ChromeWriteOptions& options) {
+/// Emission core shared by the single- and multi-tracer entry points:
+/// `tracks` names the lanes, `for_each_event` visits events in output
+/// order with tracks already indexed into `tracks`.
+template <typename ForEach>
+void emit_chrome_trace(const std::vector<TrackInfo>& tracks,
+                       ForEach&& for_each_event, std::uint64_t recorded,
+                       std::uint64_t dropped, std::ostream& os,
+                       const ChromeWriteOptions& options) {
   // Assign pids per process (in registration order) and tids per lane.
   std::map<std::string, int> pids;
-  std::vector<TrackAddr> addr(tracer.tracks().size());
+  std::vector<TrackAddr> addr(tracks.size());
   std::map<int, int> next_tid;
-  for (std::size_t i = 0; i < tracer.tracks().size(); ++i) {
-    const TrackInfo& t = tracer.tracks()[i];
+  for (std::size_t i = 0; i < tracks.size(); ++i) {
+    const TrackInfo& t = tracks[i];
     auto [it, fresh] = pids.emplace(t.process, static_cast<int>(pids.size()) + 1);
     (void)fresh;
     addr[i].pid = it->second;
@@ -52,8 +56,8 @@ void write_chrome_trace(const Tracer& tracer, std::ostream& os,
 
   os << "{\"displayTimeUnit\":\"ns\",\"otherData\":{"
      << "\"sim_now_ps\":" << options.sim_now
-     << ",\"recorded\":" << tracer.recorded()
-     << ",\"dropped\":" << tracer.dropped() << "},\"traceEvents\":[\n";
+     << ",\"recorded\":" << recorded
+     << ",\"dropped\":" << dropped << "},\"traceEvents\":[\n";
 
   bool first = true;
   const auto sep = [&]() -> std::ostream& {
@@ -71,8 +75,8 @@ void write_chrome_trace(const Tracer& tracer, std::ostream& os,
           << ",\"name\":\"process_name\",\"args\":{\"name\":\""
           << json_escape(process) << "\"}}";
   }
-  for (std::size_t i = 0; i < tracer.tracks().size(); ++i) {
-    const TrackInfo& t = tracer.tracks()[i];
+  for (std::size_t i = 0; i < tracks.size(); ++i) {
+    const TrackInfo& t = tracks[i];
     sep() << "{\"ph\":\"M\",\"pid\":" << addr[i].pid
           << ",\"tid\":" << addr[i].tid
           << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
@@ -88,9 +92,9 @@ void write_chrome_trace(const Tracer& tracer, std::ostream& os,
   };
   std::map<std::uint64_t, std::vector<FlowHop>> flows;
 
-  tracer.for_each([&](const Event& e) {
+  for_each_event([&](const Event& e) {
     const TrackAddr& a = addr[e.track];
-    const TrackInfo& t = tracer.tracks()[e.track];
+    const TrackInfo& t = tracks[e.track];
     switch (e.kind) {
       case EventKind::kSpan:
         sep() << "{\"ph\":\"X\",\"name\":\"" << json_escape(e.name)
@@ -143,6 +147,29 @@ void write_chrome_trace(const Tracer& tracer, std::ostream& os,
   os << "\n]}\n";
 }
 
+}  // namespace
+
+void write_chrome_trace(const Tracer& tracer, std::ostream& os,
+                        const ChromeWriteOptions& options) {
+  emit_chrome_trace(
+      tracer.tracks(),
+      [&](auto&& fn) { tracer.for_each(fn); },
+      tracer.recorded(), tracer.dropped(), os, options);
+}
+
+void write_chrome_trace(const std::vector<const Tracer*>& tracers,
+                        std::ostream& os, const ChromeWriteOptions& options) {
+  const MergedTrace merged = merge_traces(tracers);
+  emit_chrome_trace(
+      merged.tracks,
+      [&](auto&& fn) {
+        for (const Event& e : merged.events) {
+          fn(e);
+        }
+      },
+      merged.recorded, merged.dropped, os, options);
+}
+
 void write_chrome_trace_file(const Tracer& tracer, const std::string& path,
                              const ChromeWriteOptions& options) {
   std::ofstream os(path);
@@ -150,6 +177,19 @@ void write_chrome_trace_file(const Tracer& tracer, const std::string& path,
     throw std::runtime_error("trace: cannot open " + path);
   }
   write_chrome_trace(tracer, os, options);
+  if (!os) {
+    throw std::runtime_error("trace: write failed for " + path);
+  }
+}
+
+void write_chrome_trace_file(const std::vector<const Tracer*>& tracers,
+                             const std::string& path,
+                             const ChromeWriteOptions& options) {
+  std::ofstream os(path);
+  if (!os) {
+    throw std::runtime_error("trace: cannot open " + path);
+  }
+  write_chrome_trace(tracers, os, options);
   if (!os) {
     throw std::runtime_error("trace: write failed for " + path);
   }

@@ -25,8 +25,18 @@ struct ChromeWriteOptions {
 void write_chrome_trace(const Tracer& tracer, std::ostream& os,
                         const ChromeWriteOptions& options = {});
 
+/// Multi-domain variant: merges per-domain tracers (trace::merge_traces)
+/// into one canonical timeline before writing, so a partitioned run
+/// exports the identical file a sequential run would.
+void write_chrome_trace(const std::vector<const Tracer*>& tracers,
+                        std::ostream& os,
+                        const ChromeWriteOptions& options = {});
+
 /// Convenience: write to a file; throws std::runtime_error on I/O failure.
 void write_chrome_trace_file(const Tracer& tracer, const std::string& path,
+                             const ChromeWriteOptions& options = {});
+void write_chrome_trace_file(const std::vector<const Tracer*>& tracers,
+                             const std::string& path,
                              const ChromeWriteOptions& options = {});
 
 }  // namespace sv::trace

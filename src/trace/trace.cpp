@@ -1,5 +1,10 @@
 #include "trace/trace.hpp"
 
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <tuple>
+
 namespace sv::trace {
 
 Tracer::Tracer(std::size_t capacity)
@@ -70,6 +75,104 @@ void Tracer::push(Event e) {
   }
   ring_[head_] = std::move(e);
   head_ = (head_ + 1) % capacity_;
+}
+
+MergedTrace merge_traces(const std::vector<const Tracer*>& tracers) {
+  MergedTrace out;
+
+  // Canonical track table: every (process, name) across all tracers,
+  // sorted. The sort key is what partitioning cannot change; registration
+  // order (which tracer saw a track first) is what it can.
+  struct Key {
+    std::string_view process;
+    std::string_view name;
+    bool operator<(const Key& o) const {
+      return std::tie(process, name) < std::tie(o.process, o.name);
+    }
+  };
+  std::vector<std::pair<Key, const TrackInfo*>> keyed;
+  for (const Tracer* tr : tracers) {
+    for (const TrackInfo& t : tr->tracks()) {
+      keyed.push_back({Key{t.process, t.name}, &t});
+    }
+  }
+  std::sort(keyed.begin(), keyed.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  keyed.erase(std::unique(keyed.begin(), keyed.end(),
+                          [](const auto& a, const auto& b) {
+                            return !(a.first < b.first) &&
+                                   !(b.first < a.first);
+                          }),
+              keyed.end());
+  out.tracks.reserve(keyed.size());
+  for (const auto& [key, info] : keyed) {
+    out.tracks.push_back(*info);
+  }
+
+  auto canonical_id = [&](const TrackInfo& t) {
+    const Key k{t.process, t.name};
+    const auto it = std::lower_bound(
+        keyed.begin(), keyed.end(), k,
+        [](const auto& a, const Key& b) { return a.first < b; });
+    return static_cast<TrackId>(it - keyed.begin());
+  };
+
+  // Gather events with remapped track ids. Concatenation order across
+  // tracers does not matter for the final order because every track is
+  // recorded by exactly one domain: the stable sort below orders events by
+  // (ts, track) and keeps each single track's emission order intact.
+  for (const Tracer* tr : tracers) {
+    out.recorded += tr->recorded();
+    out.dropped += tr->dropped();
+    std::vector<TrackId> remap(tr->tracks().size());
+    for (std::size_t i = 0; i < tr->tracks().size(); ++i) {
+      remap[i] = canonical_id(tr->tracks()[i]);
+    }
+    tr->for_each([&](const Event& e) {
+      Event copy = e;
+      copy.track = remap[e.track];
+      out.events.push_back(std::move(copy));
+    });
+  }
+  std::stable_sort(out.events.begin(), out.events.end(),
+                   [](const Event& a, const Event& b) {
+                     return std::tie(a.ts, a.track) <
+                            std::tie(b.ts, b.track);
+                   });
+  return out;
+}
+
+std::string canonical_span_dump(const std::vector<const Tracer*>& tracers) {
+  const MergedTrace merged = merge_traces(tracers);
+  std::string out;
+  out.reserve(merged.events.size() * 64);
+  char buf[64];
+  for (const Event& e : merged.events) {
+    const TrackInfo& t = merged.tracks[e.track];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64 " ", e.ts);
+    out += buf;
+    out += t.process;
+    out += '/';
+    out += t.name;
+    switch (e.kind) {
+      case EventKind::kSpan:
+        std::snprintf(buf, sizeof(buf),
+                      " span dur=%" PRIu64 " flow=%" PRIu64 " ", e.dur,
+                      e.flow);
+        break;
+      case EventKind::kInstant:
+        std::snprintf(buf, sizeof(buf), " instant flow=%" PRIu64 " ",
+                      e.flow);
+        break;
+      case EventKind::kCounter:
+        std::snprintf(buf, sizeof(buf), " counter value=%.17g ", e.value);
+        break;
+    }
+    out += buf;
+    out += e.name;
+    out += '\n';
+  }
+  return out;
 }
 
 }  // namespace sv::trace

@@ -114,4 +114,23 @@ class Tracer {
   std::map<std::string, TrackId, std::less<>> by_key_;
 };
 
+/// Several per-domain Tracers recombined into one canonical timeline.
+/// Canonical means independent of how the machine was partitioned: tracks
+/// are sorted by (process, name), events by (ts, track) with each track's
+/// own emission order preserved. Two runs that record the same per-track
+/// event sequences merge to byte-identical MergedTraces, however many
+/// tracers the events were spread across.
+struct MergedTrace {
+  std::vector<TrackInfo> tracks;
+  std::vector<Event> events;  // Event::track reindexed into `tracks`
+  std::uint64_t recorded = 0;
+  std::uint64_t dropped = 0;
+};
+
+MergedTrace merge_traces(const std::vector<const Tracer*>& tracers);
+
+/// Plain-text rendering of the merged timeline, one line per event — the
+/// artifact the parallel-equivalence tests compare across thread counts.
+std::string canonical_span_dump(const std::vector<const Tracer*>& tracers);
+
 }  // namespace sv::trace

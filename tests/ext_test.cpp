@@ -208,7 +208,7 @@ TEST_F(DiffTest, ClsModeDiffSendsOnlyDirtyLines) {
       }(&machine.node(0).ap(), &done));
   test::drive(machine.kernel(), [&] { return done; });
 
-  const auto sent_before = machine.network().packets_delivered().value();
+  const auto sent_before = machine.network().packets_delivered();
   niu::Command cmd;
   cmd.op = niu::CmdOp::kBlockDiffTx;
   cmd.diff_mode = 0;
@@ -229,11 +229,11 @@ TEST_F(DiffTest, ClsModeDiffSendsOnlyDirtyLines) {
   // Dirty bits cleared; a second diff sends nothing.
   auto& cls = machine.node(0).niu().cls();
   EXPECT_EQ(cls.peek(kBuf + 3 * 32) & niu::ABiu::kClsDirty, 0);
-  const auto sent_mid = machine.network().packets_delivered().value();
+  const auto sent_mid = machine.network().packets_delivered();
   EXPECT_GE(sent_mid - sent_before, 2u);
   machine.node(0).niu().ctrl().post_command(0, cmd);
   drive_idle();
-  EXPECT_EQ(machine.network().packets_delivered().value(), sent_mid);
+  EXPECT_EQ(machine.network().packets_delivered(), sent_mid);
 }
 
 TEST_F(DiffTest, ValueModeDiffAgainstStagedOldCopy) {
@@ -271,12 +271,12 @@ TEST_F(DiffTest, ValueModeDiffAgainstStagedOldCopy) {
   EXPECT_EQ(dst.read_scalar<std::uint8_t>(kDst + 6 * 32), 0u);
 
   // The old copy was refreshed: a re-diff sends nothing new.
-  const auto sent = machine.network().packets_delivered().value();
+  const auto sent = machine.network().packets_delivered();
   niu::Command again = cmd;
   again.remote_notify = false;
   machine.node(0).niu().ctrl().post_command(0, again);
   drive_idle();
-  EXPECT_EQ(machine.network().packets_delivered().value(), sent);
+  EXPECT_EQ(machine.network().packets_delivered(), sent);
 
   // The completion notification arrived at the receiver's user queue.
   EXPECT_FALSE(

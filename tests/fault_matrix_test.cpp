@@ -45,94 +45,29 @@ fault::Plan full_matrix_plan(std::uint64_t seed) {
   return p;
 }
 
-/// Run a reliable ring (every node streams kCount payloads to its right
-/// neighbour) on a 4-node fat tree under the full fault matrix; assert
-/// completion, exactly-once delivery counts and packet conservation; return
-/// the machine-wide stats JSON for replay comparison.
+/// Run a reliable ring (every node streams 25 payloads to its right
+/// neighbour) on a 4-node fat tree under the full fault matrix via the
+/// shared workload harness. The harness asserts completion, exactly-once
+/// delivery counts and packet conservation; this wrapper additionally
+/// checks the matrix actually fired and returns the machine-wide stats
+/// JSON for replay comparison.
 std::string run_matrix(std::uint64_t seed) {
-  constexpr std::uint64_t kCount = 25;
-  constexpr std::size_t kBytes = 48;
-
-  auto mp = test::small_machine_params(4);
-  mp.fault = full_matrix_plan(seed);
-  sys::Machine machine(mp);
-  const auto map = machine.addr_map();
-
-  msg::ReliableChannel::Params cp;
-  cp.retransmit.base_timeout = 20 * sim::kMicrosecond;
-
-  std::vector<std::unique_ptr<msg::Endpoint>> eps;
-  std::vector<std::unique_ptr<msg::ReliableChannel>> chans;
-  for (sim::NodeId n = 0; n < machine.size(); ++n) {
-    eps.push_back(std::make_unique<msg::Endpoint>(
-        machine.node(n).ap(), machine.node(n).endpoint_config()));
-    chans.push_back(
-        std::make_unique<msg::ReliableChannel>(*eps[n], map, n, cp));
-    chans[n]->start();
-  }
-
-  std::size_t done = 0;
-  for (sim::NodeId n = 0; n < machine.size(); ++n) {
-    machine.node(n).ap().run(
-        [](msg::ReliableChannel* ch, sim::NodeId self, std::size_t nodes,
-           std::size_t* d) -> sim::Co<void> {
-          const auto right = static_cast<sim::NodeId>((self + 1) % nodes);
-          const auto left =
-              static_cast<sim::NodeId>((self + nodes - 1) % nodes);
-          for (std::uint64_t i = 0; i < kCount; ++i) {
-            std::vector<std::byte> payload(kBytes);
-            for (std::size_t b = 0; b < payload.size(); ++b) {
-              payload[b] = static_cast<std::byte>(self + i + b);
-            }
-            co_await ch->send(right, payload);
-          }
-          for (std::uint64_t i = 0; i < kCount; ++i) {
-            (void)co_await ch->recv(left);
-          }
-          ++*d;
-        }(chans[n].get(), n, machine.size(), &done));
-  }
-
-  // Complete the ring, then quiesce: tail ACKs (themselves droppable) must
-  // empty every retransmit window before the books can balance.
-  test::drive(
-      machine.kernel(),
-      [&] {
-        if (done != machine.size()) {
-          return false;
-        }
-        for (const auto& ch : chans) {
-          if (ch->unacked() != 0) {
-            return false;
-          }
-        }
-        return machine.network().audit().balanced();
-      },
-      2000 * sim::kMillisecond);
-
-  // Exactly-once delivery, per channel.
-  for (const auto& ch : chans) {
-    EXPECT_EQ(ch->stats().payloads_delivered.value(), kCount);
-    EXPECT_EQ(ch->unacked(), 0u);
-    for (sim::NodeId peer = 0; peer < machine.size(); ++peer) {
-      EXPECT_FALSE(ch->failed(peer));
-    }
-  }
-  test::expect_network_conserves(machine);
+  test::RunSpec spec;
+  spec.workload = test::Workload::kReliable;
+  spec.nodes = 4;
+  spec.net = sys::Machine::NetKind::kFatTree;
+  spec.fault = full_matrix_plan(seed);
+  spec.count = 25;
+  spec.bytes = 48;
+  spec.retransmit_timeout = 20 * sim::kMicrosecond;
+  const test::RunResult res = test::run_machine_and_dump_stats(spec);
 
   // The matrix must actually have fired: a fault plan this aggressive that
   // injects nothing would make the replay check vacuous.
-  EXPECT_NE(machine.fault_injector(), nullptr);
-  if (machine.fault_injector() != nullptr) {
-    const auto& fs = machine.fault_injector()->stats();
-    EXPECT_GT(fs.drops.value(), 0u);
-    EXPECT_GT(fs.corrupts.value(), 0u);
-    EXPECT_GT(fs.router_stalls.value(), 0u);
-  }
-
-  std::ostringstream os;
-  sys::dump_stats_json(machine, os);
-  return os.str();
+  EXPECT_GT(res.fault_stats.drops.value(), 0u);
+  EXPECT_GT(res.fault_stats.corrupts.value(), 0u);
+  EXPECT_GT(res.fault_stats.router_stalls.value(), 0u);
+  return res.stats_json;
 }
 
 TEST(FaultMatrixTest, ReplaySameSeedIsBitIdentical) {

@@ -93,11 +93,13 @@ TEST(IdealNetworkTest, DeliversAfterFixedLatency) {
   }(&net));
   kernel.run();
   ASSERT_EQ(got.size(), 2u);
-  // Serials start at 1: 0 is reserved for "no flow id assigned".
-  EXPECT_EQ(got[0].second, 1u);
-  EXPECT_EQ(got[1].second, 2u);
+  // Serials are namespaced by source ((src + 1) << 40) and sequential
+  // within it, starting at 1: 0 stays reserved for "no flow id assigned".
+  const std::uint64_t ns = std::uint64_t{1} << 40;
+  EXPECT_EQ(got[0].second, ns | 1u);
+  EXPECT_EQ(got[1].second, ns | 2u);
   EXPECT_LT(got[0].first, got[1].first);  // source serialization
-  EXPECT_EQ(net.packets_delivered().value(), 2u);
+  EXPECT_EQ(net.packets_delivered(), 2u);
 }
 
 TEST(FatTreeTest, TopologyShape) {

@@ -68,11 +68,94 @@ TEST(Kernel, EventLimitThrows) {
   EXPECT_THROW(k.run(), std::runtime_error);
 }
 
+TEST(Kernel, EventLimitIsPerRun) {
+  // The budget is per run()/run_until() call: a limit that each individual
+  // run stays under must never trip across runs. (This regressed once —
+  // the counter was cumulative, so enough short runs eventually threw.)
+  Kernel k;
+  k.set_event_limit(10);
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 8; ++i) {
+      k.schedule(1, [] {});
+    }
+    EXPECT_NO_THROW(k.run());
+  }
+  EXPECT_EQ(k.events_executed(), 40u);
+
+  // And run_until budgets the same way.
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 8; ++i) {
+      k.schedule(1, [] {});
+    }
+    EXPECT_NO_THROW(k.run_until(k.now() + 10));
+  }
+}
+
 TEST(Kernel, SchedulePastThrows) {
   Kernel k;
   k.schedule(10, [] {});
   k.run();
   EXPECT_THROW(k.schedule_abs(5, [] {}), std::logic_error);
+}
+
+TEST(Kernel, ScheduleAbsAtNowRunsThisInstant) {
+  // when == now() is valid: the event runs after currently-queued work at
+  // the same timestamp, exactly like schedule(0, ...).
+  Kernel k;
+  std::vector<int> order;
+  k.schedule(10, [&] {
+    order.push_back(0);
+    k.schedule_abs(k.now(), [&] { order.push_back(1); });
+  });
+  k.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+  EXPECT_EQ(k.now(), 10u);
+}
+
+TEST(Kernel, MailboxOrdersByTickSourceSequence) {
+  // post() arrival order is scrambled on purpose; delivery must follow the
+  // (when, src, seq) key alone.
+  Kernel k;
+  std::vector<int> order;
+  k.post(20, /*src=*/1, /*seq=*/2, [&] { order.push_back(3); });
+  k.post(10, /*src=*/2, /*seq=*/1, [&] { order.push_back(2); });
+  k.post(10, /*src=*/0, /*seq=*/9, [&] { order.push_back(0); });
+  k.post(10, /*src=*/1, /*seq=*/5, [&] { order.push_back(1); });
+  k.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(k.now(), 20u);
+}
+
+TEST(Kernel, MailboxInjectsAfterQueuedBeforeScheduledDuring) {
+  // At its tick, a mailbox message runs after every event that was already
+  // queued there, but before anything those events schedule for the same
+  // tick — the injection point is where the destination's clock first
+  // reaches the tick.
+  Kernel k;
+  std::vector<int> order;
+  k.schedule(10, [&] {
+    order.push_back(0);
+    k.schedule(0, [&] { order.push_back(2); });
+  });
+  k.post(10, 0, 1, [&] { order.push_back(1); });
+  k.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Kernel, DeferredMailboxInvisibleUntilCommit) {
+  Kernel k;
+  bool fired = false;
+  k.set_deferred_mailbox(true);
+  k.post(10, 0, 1, [&] { fired = true; });
+  EXPECT_TRUE(k.idle());  // staged messages are not pending work yet
+  k.run();
+  EXPECT_FALSE(fired);
+  k.commit_mailbox();
+  EXPECT_FALSE(k.idle());
+  EXPECT_EQ(k.next_event_time(), 10u);
+  k.run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(k.now(), 10u);
 }
 
 TEST(Clock, CycleConversions) {

@@ -21,6 +21,13 @@
 // Common keys: nodes=N net=fattree|ideal radix=K stats=0|1
 //   stats_format=text|json deadline_ms=N trace=FILE trace_buf=N
 //
+// Parallel execution: threads=N partitions the machine into one event
+// domain per node on N worker threads (results are bit-identical to
+// threads=0). Partitioning needs the ideal network, so threads>0 defaults
+// net=ideal; combining threads>0 with net=fattree is an error. The xfer
+// workload drives the machine through a sequential-only harness and
+// rejects threads>0.
+//
 // Fault injection (all workloads): fault.drop_rate=P fault.corrupt_rate=P
 //   fault.link_down_rate=P fault.router_stall_rate=P fault.starve_rate=P
 //   fault.rx_overflow_rate=P fault.seed=N (see fault::Plan::from_config).
@@ -50,7 +57,9 @@ sys::Machine::Params machine_params(const sim::Config& cfg) {
   sys::Machine::Params p;
   p.nodes = cfg.get_u64("nodes", 2);
   p.radix = static_cast<unsigned>(cfg.get_u64("radix", 4));
-  p.net = cfg.get_string("net", "fattree") == "ideal"
+  p.threads = static_cast<unsigned>(cfg.get_u64("threads", 0));
+  p.net = cfg.get_string("net", p.threads > 0 ? "ideal" : "fattree") ==
+                  "ideal"
               ? sys::Machine::NetKind::kIdeal
               : sys::Machine::NetKind::kFatTree;
   p.node.dram_size = cfg.get_u64("dram_mb", 16) * 1024 * 1024;
@@ -61,8 +70,19 @@ sys::Machine::Params machine_params(const sim::Config& cfg) {
 }
 
 sim::Tick deadline(const sim::Config& cfg, sys::Machine& m) {
-  return m.kernel().now() +
-         cfg.get_u64("deadline_ms", 2000) * sim::kMillisecond;
+  return m.now() + cfg.get_u64("deadline_ms", 2000) * sim::kMillisecond;
+}
+
+/// True once every per-node completion flag is set. The flags live one per
+/// node so each is only ever written by the domain that owns that node —
+/// the pattern that keeps every workload valid under threads=N.
+bool all_set(const std::vector<std::uint8_t>& done) {
+  for (const auto f : done) {
+    if (f == 0) {
+      return false;
+    }
+  }
+  return true;
 }
 
 int run_msg(sys::Machine& machine, const sim::Config& cfg, bool express) {
@@ -76,12 +96,12 @@ int run_msg(sys::Machine& machine, const sim::Config& cfg, bool express) {
         machine.node(n).ap(), machine.node(n).endpoint_config()));
   }
 
-  std::size_t done = 0;
+  std::vector<std::uint8_t> done(machine.size(), 0);
   for (sim::NodeId n = 0; n < machine.size(); ++n) {
     machine.node(n).ap().run(
         [](msg::Endpoint* ep, msg::AddressMap map, sim::NodeId self,
            std::size_t nodes, std::uint64_t count, std::uint64_t bytes,
-           bool express_, std::size_t* d) -> sim::Co<void> {
+           bool express_, std::uint8_t* d) -> sim::Co<void> {
           std::vector<std::byte> payload(bytes);
           for (std::uint64_t i = 0; i < count; ++i) {
             const auto dst =
@@ -102,18 +122,17 @@ int run_msg(sys::Machine& machine, const sim::Config& cfg, bool express) {
               (void)co_await ep->recv();
             }
           }
-          ++*d;
+          *d = 1;
         }(eps[n].get(), map, n, machine.size(), count, bytes, express,
-          &done));
+          &done[n]));
   }
-  const sim::Tick t0 = machine.kernel().now();
-  if (!sys::run_until(machine.kernel(),
-                      [&] { return done == machine.size(); },
+  const sim::Tick t0 = machine.now();
+  if (!sys::run_until(machine, [&] { return all_set(done); },
                       deadline(cfg, machine))) {
     std::fprintf(stderr, "svsim: timed out\n");
     return 1;
   }
-  const double us = static_cast<double>(machine.kernel().now() - t0) / 1e6;
+  const double us = static_cast<double>(machine.now() - t0) / 1e6;
   const double total_bytes =
       static_cast<double>(machine.size() * count * (express ? 5 : bytes));
   std::printf("%s all-to-all: %zu nodes x %llu msgs in %.1f us "
@@ -125,6 +144,12 @@ int run_msg(sys::Machine& machine, const sim::Config& cfg, bool express) {
 }
 
 int run_xfer(sys::Machine& machine, const sim::Config& cfg) {
+  if (machine.partitioned()) {
+    std::fprintf(stderr,
+                 "svsim: the xfer harness is sequential-only; rerun "
+                 "without threads=\n");
+    return 2;
+  }
   const int approach = static_cast<int>(cfg.get_u64("approach", 3));
   const auto bytes = static_cast<std::uint32_t>(cfg.get_u64("bytes", 16384));
   xfer::BlockTransferHarness harness(machine);
@@ -171,13 +196,13 @@ int run_dma(sys::Machine& machine, const sim::Config& cfg) {
         (void)co_await ep->recv();
         *d = true;
       }(&ep1, &got));
-  const sim::Tick t0 = machine.kernel().now();
-  if (!sys::run_until(machine.kernel(), [&] { return got; },
+  const sim::Tick t0 = machine.now();
+  if (!sys::run_until(machine, [&] { return got; },
                       deadline(cfg, machine))) {
     std::fprintf(stderr, "svsim: timed out\n");
     return 1;
   }
-  const double us = static_cast<double>(machine.kernel().now() - t0) / 1e6;
+  const double us = static_cast<double>(machine.now() - t0) / 1e6;
   std::printf("dma: %u bytes in %.1f us = %.1f MB/s\n", bytes, us,
               static_cast<double>(bytes) / us);
   return 0;
@@ -212,12 +237,12 @@ int run_reliable(sys::Machine& machine, const sim::Config& cfg) {
 
   // Ring traffic: every node streams `count` payloads to its right
   // neighbour and consumes `count` from its left.
-  std::size_t done = 0;
+  std::vector<std::uint8_t> done(machine.size(), 0);
   for (sim::NodeId n = 0; n < machine.size(); ++n) {
     machine.node(n).ap().run(
         [](msg::ReliableChannel* ch, sim::NodeId self, std::size_t nodes,
            std::uint64_t count_, std::uint64_t bytes_,
-           std::size_t* d) -> sim::Co<void> {
+           std::uint8_t* d) -> sim::Co<void> {
           const auto right = static_cast<sim::NodeId>((self + 1) % nodes);
           const auto left =
               static_cast<sim::NodeId>((self + nodes - 1) % nodes);
@@ -231,18 +256,17 @@ int run_reliable(sys::Machine& machine, const sim::Config& cfg) {
           for (std::uint64_t i = 0; i < count_; ++i) {
             (void)co_await ch->recv(left);
           }
-          ++*d;
-        }(chans[n].get(), n, machine.size(), count, bytes, &done));
+          *d = 1;
+        }(chans[n].get(), n, machine.size(), count, bytes, &done[n]));
   }
 
-  const sim::Tick t0 = machine.kernel().now();
-  if (!sys::run_until(machine.kernel(),
-                      [&] { return done == machine.size(); },
+  const sim::Tick t0 = machine.now();
+  if (!sys::run_until(machine, [&] { return all_set(done); },
                       deadline(cfg, machine))) {
     std::fprintf(stderr, "svsim: timed out\n");
     return 1;
   }
-  const double us = static_cast<double>(machine.kernel().now() - t0) / 1e6;
+  const double us = static_cast<double>(machine.now() - t0) / 1e6;
   std::uint64_t retx = 0;
   std::uint64_t corrupt = 0;
   for (auto& ch : chans) {
@@ -269,51 +293,53 @@ int run_shm(sys::Machine& machine, const sim::Config& cfg, bool scoma) {
   const auto words = cfg.get_u64("words", 16);
   const auto seed = cfg.get_u64("seed", 42);
 
-  bool done = false;
-  machine.node(0).ap().run(
-      [](sys::Machine* m, std::uint64_t ops_, std::uint64_t words_,
-         std::uint64_t seed_, bool scoma_, bool* d) -> sim::Co<void> {
-        sim::Rng rng(seed_);
-        std::vector<std::unique_ptr<shm::ScomaRegion>> scs;
-        std::vector<std::unique_ptr<shm::NumaRegion>> nms;
-        for (sim::NodeId n = 0; n < m->size(); ++n) {
-          scs.push_back(
-              std::make_unique<shm::ScomaRegion>(m->node(n).ap()));
-          nms.push_back(std::make_unique<shm::NumaRegion>(m->node(n).ap()));
-        }
-        for (std::uint64_t i = 0; i < ops_; ++i) {
-          const auto actor =
-              static_cast<sim::NodeId>(rng.below(m->size()));
-          const mem::Addr off = 0x1000 + rng.below(words_) * 64;
-          if (scoma_) {
-            if (rng.chance(0.5)) {
-              co_await scs[actor]->store<std::uint32_t>(
-                  off, static_cast<std::uint32_t>(i));
+  // One driver per node, each with its own seed-derived access stream over
+  // the same shared words: the contention is cross-node (that is what the
+  // coherence protocols exist for) while every coroutine stays inside the
+  // domain that owns its processor, so the workload is valid — and
+  // bit-identical — at every threads= value. `ops` counts per node.
+  std::vector<std::uint8_t> done(machine.size(), 0);
+  for (sim::NodeId n = 0; n < machine.size(); ++n) {
+    machine.node(n).ap().run(
+        [](sys::Node* node, std::uint64_t ops_, std::uint64_t words_,
+           std::uint64_t seed_, bool scoma_,
+           std::uint8_t* d) -> sim::Co<void> {
+          sim::Rng rng(seed_);
+          shm::ScomaRegion sc(node->ap());
+          shm::NumaRegion nm(node->ap());
+          for (std::uint64_t i = 0; i < ops_; ++i) {
+            const mem::Addr off = 0x1000 + rng.below(words_) * 64;
+            if (scoma_) {
+              if (rng.chance(0.5)) {
+                co_await sc.store<std::uint32_t>(
+                    off, static_cast<std::uint32_t>(i));
+              } else {
+                (void)co_await sc.load<std::uint32_t>(off);
+              }
             } else {
-              (void)co_await scs[actor]->load<std::uint32_t>(off);
-            }
-          } else {
-            if (rng.chance(0.5)) {
-              co_await nms[actor]->store<std::uint32_t>(
-                  off, static_cast<std::uint32_t>(i));
-            } else {
-              (void)co_await nms[actor]->load<std::uint32_t>(off);
+              if (rng.chance(0.5)) {
+                co_await nm.store<std::uint32_t>(
+                    off, static_cast<std::uint32_t>(i));
+              } else {
+                (void)co_await nm.load<std::uint32_t>(off);
+              }
             }
           }
-        }
-        *d = true;
-      }(&machine, ops, words, seed, scoma, &done));
-  const sim::Tick t0 = machine.kernel().now();
-  if (!sys::run_until(machine.kernel(), [&] { return done; },
+          *d = 1;
+        }(&machine.node(n), ops, words,
+          seed ^ (0x9e3779b97f4a7c15ull * (n + 1)), scoma, &done[n]));
+  }
+  const sim::Tick t0 = machine.now();
+  if (!sys::run_until(machine, [&] { return all_set(done); },
                       deadline(cfg, machine))) {
     std::fprintf(stderr, "svsim: timed out\n");
     return 1;
   }
-  std::printf("%s: %llu ops over %llu shared words in %.1f us\n",
+  std::printf("%s: %llu ops/node over %llu shared words in %.1f us\n",
               scoma ? "scoma" : "numa",
               static_cast<unsigned long long>(ops),
               static_cast<unsigned long long>(words),
-              static_cast<double>(machine.kernel().now() - t0) / 1e6);
+              static_cast<double>(machine.now() - t0) / 1e6);
   return 0;
 }
 
@@ -336,7 +362,14 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  sys::Machine machine(machine_params(cfg));
+  std::unique_ptr<sys::Machine> machine_ptr;
+  try {
+    machine_ptr = std::make_unique<sys::Machine>(machine_params(cfg));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "svsim: %s\n", e.what());
+    return 2;
+  }
+  sys::Machine& machine = *machine_ptr;
 
   const std::string trace_file = cfg.get_string("trace", "");
   if (!trace_file.empty()) {
@@ -366,17 +399,25 @@ int main(int argc, char** argv) {
   }
 
   if (!trace_file.empty()) {
-    const trace::Tracer& tr = *machine.tracer();
+    // Merge the per-domain tracers into one canonical timeline — for a
+    // sequential machine that is a single-tracer merge, so the file is the
+    // same either way.
+    const auto tracers = machine.tracers();
+    std::size_t events = 0;
+    std::uint64_t dropped = 0;
+    for (const auto* tr : tracers) {
+      events += tr->size();
+      dropped += tr->dropped();
+    }
     try {
       trace::write_chrome_trace_file(
-          tr, trace_file,
-          trace::ChromeWriteOptions{machine.kernel().now()});
+          tracers, trace_file, trace::ChromeWriteOptions{machine.now()});
     } catch (const std::exception& e) {
       std::fprintf(stderr, "svsim: %s\n", e.what());
       return 1;
     }
-    std::printf("trace: %zu events (%llu dropped) -> %s\n", tr.size(),
-                static_cast<unsigned long long>(tr.dropped()),
+    std::printf("trace: %zu events (%llu dropped) -> %s\n", events,
+                static_cast<unsigned long long>(dropped),
                 trace_file.c_str());
   }
 
