@@ -9,9 +9,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "fault/fault.hpp"
 #include "sys/experiment.hpp"
@@ -35,6 +40,24 @@ inline fault::Plan g_fault_plan;  // NOLINT(misc-definitions-in-headers)
 /// machines via parallel_machine_params (bench_parallel); benches that
 /// drive machine.kernel() directly stay sequential regardless.
 inline unsigned g_threads = 0;  // NOLINT(misc-definitions-in-headers)
+
+/// --quick from argv: benches that honor it (fig4) register a reduced
+/// sweep, sized for the CI perf-smoke job rather than a full figure.
+inline bool g_quick = false;  // NOLINT(misc-definitions-in-headers)
+
+/// Strip a leading --quick from argv. Call before benchmark::Initialize,
+/// which rejects flags it does not know.
+inline void parse_quick_flag(int& argc, char** argv) {
+  int w = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--quick") {
+      g_quick = true;
+    } else {
+      argv[w++] = argv[i];
+    }
+  }
+  argc = w;
+}
 
 /// Strip a leading --threads=N from argv. Call before
 /// benchmark::Initialize, which rejects flags it does not know.
@@ -161,6 +184,143 @@ inline xfer::TransferSpec xfer_spec(std::uint32_t len, bool scoma_dst) {
 /// Report a simulated duration for this benchmark iteration.
 inline void report_sim_time(benchmark::State& state, sim::Tick ps) {
   state.SetIterationTime(static_cast<double>(ps) * kPsToSec);
+}
+
+// ---------------------------------------------------------------------------
+// Kernel-bench result tracking: a flat {case: events_per_sec} JSON written
+// after the run (BENCH_kernel.json by default) so the hot-path perf
+// trajectory is recorded across PRs, plus an optional baseline check that
+// turns a silent regression into a CI failure.
+// ---------------------------------------------------------------------------
+
+struct KernelResult {
+  std::string name;
+  double events_per_sec = 0.0;
+};
+
+inline std::vector<KernelResult>& kernel_results() {
+  static std::vector<KernelResult> results;
+  return results;
+}
+
+inline std::string g_kernel_json_out =  // NOLINT(misc-definitions-in-headers)
+    "BENCH_kernel.json";
+inline std::string g_kernel_baseline;   // NOLINT(misc-definitions-in-headers)
+inline double g_kernel_tolerance = 0.25;  // NOLINT(misc-definitions-in-headers)
+
+/// Record one kernel-bench case's measured host throughput. The framework
+/// may run a case more than once (iteration-count estimation); the last —
+/// longest, most reliable — run wins.
+inline void record_kernel_result(std::string name, double events_per_sec) {
+  for (auto& r : kernel_results()) {
+    if (r.name == name) {
+      r.events_per_sec = events_per_sec;
+      return;
+    }
+  }
+  kernel_results().push_back({std::move(name), events_per_sec});
+}
+
+/// Strip --json_out=FILE, --check_baseline=FILE and --tolerance=F from
+/// argv. Call before benchmark::Initialize.
+inline void parse_kernel_json_flags(int& argc, char** argv) {
+  const auto eat = [](std::string_view arg, std::string_view flag,
+                      std::string* out) {
+    if (arg.substr(0, flag.size()) != flag) {
+      return false;
+    }
+    *out = std::string(arg.substr(flag.size()));
+    return true;
+  };
+  int w = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    std::string v;
+    if (eat(arg, "--json_out=", &v)) {
+      g_kernel_json_out = v;
+    } else if (eat(arg, "--check_baseline=", &v)) {
+      g_kernel_baseline = v;
+    } else if (eat(arg, "--tolerance=", &v)) {
+      g_kernel_tolerance = std::strtod(v.c_str(), nullptr);
+    } else {
+      argv[w++] = argv[i];
+    }
+  }
+  argc = w;
+}
+
+/// Parse the flat {"case": number, ...} JSON this header itself writes.
+/// Deliberately minimal: it only needs to round-trip our own output.
+inline std::vector<KernelResult> read_kernel_json(const std::string& path) {
+  std::vector<KernelResult> out;
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+  std::size_t pos = 0;
+  while ((pos = text.find('"', pos)) != std::string::npos) {
+    const std::size_t end = text.find('"', pos + 1);
+    if (end == std::string::npos) {
+      break;
+    }
+    const std::string key = text.substr(pos + 1, end - pos - 1);
+    const std::size_t colon = text.find(':', end);
+    if (colon == std::string::npos) {
+      break;
+    }
+    out.push_back({key, std::strtod(text.c_str() + colon + 1, nullptr)});
+    pos = text.find(',', colon);
+    if (pos == std::string::npos) {
+      break;
+    }
+  }
+  return out;
+}
+
+/// Write BENCH_kernel.json and, when --check_baseline was given, compare
+/// against it. Returns a process exit code (non-zero on regression).
+inline int finalize_kernel_results() {
+  const auto& results = kernel_results();
+  if (!g_kernel_json_out.empty()) {
+    std::ofstream out(g_kernel_json_out);
+    out << "{\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      out << "  \"" << results[i].name << "\": " << std::fixed
+          << results[i].events_per_sec << (i + 1 < results.size() ? "," : "")
+          << "\n";
+    }
+    out << "}\n";
+  }
+  if (g_kernel_baseline.empty()) {
+    return 0;
+  }
+  const auto baseline = read_kernel_json(g_kernel_baseline);
+  if (baseline.empty()) {
+    std::fprintf(stderr, "bench_kernel: baseline %s missing or empty\n",
+                 g_kernel_baseline.c_str());
+    return 1;
+  }
+  int rc = 0;
+  for (const auto& b : baseline) {
+    for (const auto& r : results) {
+      if (r.name != b.name) {
+        continue;
+      }
+      const double floor = b.events_per_sec * (1.0 - g_kernel_tolerance);
+      if (r.events_per_sec < floor) {
+        std::fprintf(stderr,
+                     "bench_kernel: REGRESSION %s: %.3g events/s < floor "
+                     "%.3g (baseline %.3g, tolerance %g)\n",
+                     r.name.c_str(), r.events_per_sec, floor,
+                     b.events_per_sec, g_kernel_tolerance);
+        rc = 1;
+      } else {
+        std::fprintf(stderr, "bench_kernel: ok %s: %.3g events/s (>= %.3g)\n",
+                     r.name.c_str(), r.events_per_sec, floor);
+      }
+    }
+  }
+  return rc;
 }
 
 }  // namespace sv::bench

@@ -115,7 +115,7 @@ bool Injector::corrupt_packet(sim::Kernel& k, std::uint32_t l,
   return true;
 }
 
-void Injector::corrupt(std::uint32_t l, std::vector<std::byte>& payload) {
+void Injector::corrupt(std::uint32_t l, std::span<std::byte> payload) {
   if (payload.empty()) {
     return;
   }

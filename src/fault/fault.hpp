@@ -24,6 +24,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -110,7 +111,7 @@ class Injector {
   bool corrupt_packet(sim::Kernel& k, std::uint32_t lane, std::uint64_t flow);
 
   /// Flip one uniformly-chosen bit of `payload` (no-op when empty).
-  void corrupt(std::uint32_t lane, std::vector<std::byte>& payload);
+  void corrupt(std::uint32_t lane, std::span<std::byte> payload);
 
   /// Nonzero: the link goes down for that many ticks before this packet
   /// can serialize.

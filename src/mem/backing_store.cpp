@@ -6,15 +6,28 @@
 namespace sv::mem {
 
 const BackingStore::Page* BackingStore::find_page(Addr page_index) const {
+  if (page_index == last_index_ && last_page_ != nullptr) {
+    return last_page_;
+  }
   auto it = pages_.find(page_index);
-  return it != pages_.end() ? &it->second : nullptr;
+  if (it == pages_.end()) {
+    return nullptr;  // absent pages stay uncached: a write may create one
+  }
+  last_index_ = page_index;
+  last_page_ = const_cast<Page*>(&it->second);
+  return last_page_;
 }
 
 BackingStore::Page& BackingStore::get_page(Addr page_index) {
+  if (page_index == last_index_ && last_page_ != nullptr) {
+    return *last_page_;
+  }
   auto [it, inserted] = pages_.try_emplace(page_index);
   if (inserted) {
     it->second.resize(kPageBytes);
   }
+  last_index_ = page_index;
+  last_page_ = &it->second;
   return it->second;
 }
 

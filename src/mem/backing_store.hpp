@@ -49,6 +49,12 @@ class BackingStore {
   Page& get_page(Addr page_index);
 
   std::unordered_map<Addr, Page> pages_;
+  // One-entry lookup cache: accesses are overwhelmingly sequential, so
+  // most hash lookups repeat the previous page. Node pointers are stable
+  // under insertion and nothing erases, so the cache never goes stale
+  // (mutable: caching inside const read() is not observable).
+  mutable Addr last_index_ = ~Addr{0};
+  mutable Page* last_page_ = nullptr;
 };
 
 }  // namespace sv::mem

@@ -97,10 +97,11 @@ sim::Co<void> ReliableChannel::send(sim::NodeId dest,
     co_return;  // peer declared dead; check failed(dest)
   }
   const std::uint64_t seq = p.next_seq++;
-  auto frame = make_frame(Kind::kData, seq, payload);
+  const auto frame = std::make_shared<const std::vector<std::byte>>(
+      make_frame(Kind::kData, seq, payload));
   p.window.emplace_back(seq, frame);
   stats_.payloads_sent.inc();
-  co_await send_frame(dest, frame, /*control=*/false);
+  co_await send_frame(dest, *frame, /*control=*/false);
   engine_.arm(dest);
 }
 
@@ -242,7 +243,9 @@ sim::Co<void> ReliableChannel::resend_window(sim::NodeId peer) {
   TxPeer& p = tx_[peer];
   // Snapshot: ACKs arriving while we suspend inside send_frame() mutate
   // the window; stale resends are discarded as duplicates at the receiver.
-  std::vector<std::vector<std::byte>> frames;
+  // Frames are shared and immutable, so the snapshot is refcount bumps,
+  // not deep copies of every unacked frame.
+  std::vector<Frame> frames;
   frames.reserve(p.window.size());
   for (const auto& [seq, frame] : p.window) {
     frames.push_back(frame);
@@ -251,7 +254,7 @@ sim::Co<void> ReliableChannel::resend_window(sim::NodeId peer) {
     if (p.failed) {
       co_return;
     }
-    co_await send_frame(peer, frame, /*control=*/false);
+    co_await send_frame(peer, *frame, /*control=*/false);
     stats_.retransmitted.inc();
   }
 }

@@ -20,6 +20,7 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -92,12 +93,18 @@ class ReliableChannel {
  private:
   enum class Kind : std::uint8_t { kData = 1, kAck = 2, kNack = 3 };
 
+  // Window frames are immutable once built; shared ownership lets
+  // resend_window() snapshot the window by bumping refcounts instead of
+  // deep-copying every frame (go-back-N under loss used to copy the whole
+  // window per NACK).
+  using Frame = std::shared_ptr<const std::vector<std::byte>>;
+
   struct TxPeer {
     std::uint64_t next_seq = 1;
     std::uint64_t nack_resent_for = 0;  // dedupe go-back-N per NACK burst
     bool failed = false;
     // Unacked frames in sequence order (seq, full wire frame).
-    std::deque<std::pair<std::uint64_t, std::vector<std::byte>>> window;
+    std::deque<std::pair<std::uint64_t, Frame>> window;
   };
 
   struct RxPeer {

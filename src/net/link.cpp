@@ -69,9 +69,10 @@ sim::Co<void> Link::send(Packet pkt) {
   }
 
   // Propagate: the packet arrives at the far end after the wire delay.
-  kernel_.schedule(prop, [this, p = std::move(pkt)]() mutable {
-    deliver_(std::move(p));
-  });
+  // The packet parks in the pool so the event captures 12 bytes, not a
+  // whole Packet (which would overflow InlineFunc's inline buffer).
+  const PacketPool::Handle h = pool_.put(std::move(pkt));
+  kernel_.schedule(prop, [this, h] { deliver_(pool_.take(h)); });
 }
 
 void Link::return_credit(std::uint8_t priority) {

@@ -71,6 +71,7 @@ class Link : public sim::SimObject {
   std::uint32_t credits_[kNumPriorities];
   sim::Signal credit_freed_;
   sim::Semaphore wire_;
+  PacketPool pool_;  // in-flight packets between wire tail and delivery
   sim::Counter packets_;
   sim::Counter bytes_;
   sim::Counter dropped_;

@@ -50,7 +50,8 @@ IdealNetwork::IdealNetwork(const sim::DomainMap& domains, std::string name,
                            Params params)
     : Network(domains.of(0), std::move(name), params.nodes),
       domains_(domains),
-      params_(params) {
+      params_(params),
+      pool_(domains.partitioned()) {
   if (domains_.nodes() != params_.nodes) {
     throw std::invalid_argument(this->name() +
                                 ": domain map does not cover all nodes");
@@ -119,11 +120,18 @@ sim::Co<void> IdealNetwork::inject(Packet pkt) {
   // current epoch's boundary, satisfying the conservative lookahead.
   const sim::Tick when = k.now() + params_.latency;
   const std::uint64_t seq = next_post_seq(pkt.src);
-  domains_.of(pkt.dest).post(
-      when, pkt.src, seq, [this, p = std::move(pkt)]() mutable {
-        count_delivery(domains_.of(p.dest), p);
-        endpoints_[p.dest](std::move(p));
-      });
+  // The packet parks in the pool (put here in the source domain, taken in
+  // the destination's — pool_ is constructed concurrent-safe when the
+  // machine is partitioned) so the mailbox event captures a handle, not a
+  // Packet.
+  const sim::NodeId src = pkt.src;
+  const sim::NodeId dest = pkt.dest;
+  const PacketPool::Handle h = pool_.put(std::move(pkt));
+  domains_.of(dest).post(when, src, seq, [this, h] {
+    Packet p = pool_.take(h);
+    count_delivery(domains_.of(p.dest), p);
+    endpoints_[p.dest](std::move(p));
+  });
 }
 
 void IdealNetwork::consume_done(sim::NodeId node, std::uint8_t priority) {

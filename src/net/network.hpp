@@ -140,6 +140,9 @@ class IdealNetwork final : public Network {
  private:
   sim::DomainMap domains_;
   Params params_;
+  // In-flight packets between fault checks and delivery; concurrent iff
+  // the machine is partitioned (put in source domain, take in dest's).
+  PacketPool pool_;
   std::vector<Deliver> endpoints_;
   std::vector<std::unique_ptr<sim::Semaphore>> inject_ports_;
   // Per-source wire track, cached lazily; slot n is only touched by the

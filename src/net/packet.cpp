@@ -12,8 +12,10 @@ std::string Packet::summary() const {
   return oss.str();
 }
 
-std::vector<std::byte> to_payload(std::span<const std::byte> s) {
-  return std::vector<std::byte>(s.begin(), s.end());
+Payload to_payload(std::span<const std::byte> s) {
+  Payload p;
+  p = s;
+  return p;
 }
 
 }  // namespace sv::net

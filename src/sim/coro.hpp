@@ -29,6 +29,7 @@
 #include <utility>
 #include <vector>
 
+#include "sim/frame_pool.hpp"
 #include "sim/kernel.hpp"
 #include "sim/types.hpp"
 
@@ -44,6 +45,11 @@ class Co;
 namespace detail {
 
 struct CoPromiseBase {
+  // Coroutine frames recycle through the per-thread FramePool instead of
+  // the global heap: one less malloc/free pair per simulated call.
+  static void* operator new(std::size_t n) { return FramePool::allocate(n); }
+  static void operator delete(void* p) noexcept { FramePool::deallocate(p); }
+
   std::coroutine_handle<> continuation;
   std::exception_ptr exception;
 
@@ -153,6 +159,9 @@ inline Co<void> CoPromise<void>::get_return_object() {
 /// Fire-and-forget root coroutine used by spawn(). Self-destroying.
 struct RootTask {
   struct promise_type {
+    static void* operator new(std::size_t n) { return FramePool::allocate(n); }
+    static void operator delete(void* p) noexcept { FramePool::deallocate(p); }
+
     RootTask get_return_object() { return {}; }
     std::suspend_never initial_suspend() noexcept { return {}; }
     std::suspend_never final_suspend() noexcept { return {}; }

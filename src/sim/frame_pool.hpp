@@ -1,0 +1,90 @@
+// FramePool: a freelist allocator for coroutine frames.
+//
+// Every simulated sequential process is a C++20 coroutine, and every call
+// to one (Ctrl::tx_launch, Bus::access, Link::send, delay-wrapped helpers,
+// ...) allocates a frame with ::operator new and frees it at completion.
+// In steady state that is several malloc/free pairs per simulated message
+// — the second-largest kernel-path overhead after std::function events
+// (DESIGN.md §11).
+//
+// Frames recycle through per-thread, per-size-class freelists instead.
+// Blocks carry a 16-byte header holding their size class, so deallocation
+// needs no size plumbing; classes are 64-byte granules up to 2 KiB (real
+// frame sizes here are ~100-600 bytes), larger requests pass through to
+// the global heap. Freed blocks push onto the *freeing* thread's list —
+// with the parallel kernel a domain may migrate between workers, so a
+// frame can retire on a different thread than it was born on; the lists
+// are capped, so memory just circulates instead of accumulating.
+//
+// Reuse is invisible to simulation semantics (frames carry no identity),
+// so determinism and bit-identical parallel equivalence are unaffected.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+
+namespace sv::sim {
+
+class FramePool {
+ public:
+  static constexpr std::size_t kHeader = 16;  // keeps 16-byte alignment
+  static constexpr std::size_t kGranule = 64;
+  static constexpr std::size_t kClasses = 32;  // up to 2 KiB blocks
+  static constexpr std::size_t kMaxFree = 128;  // retained blocks per class
+
+  static void* allocate(std::size_t bytes) {
+    const std::size_t need = bytes + kHeader;
+    const std::size_t cls = (need + kGranule - 1) / kGranule;
+    if (cls < kClasses) {
+      Bin& bin = bins()[cls];
+      if (bin.head != nullptr) {
+        void* raw = bin.head;
+        bin.head = *static_cast<void**>(raw);
+        --bin.count;
+        // The freelist link overwrote the header word; restore the class.
+        *static_cast<std::uint64_t*>(raw) = cls;
+        return static_cast<char*>(raw) + kHeader;
+      }
+      void* raw = ::operator new(cls * kGranule);
+      *static_cast<std::uint64_t*>(raw) = cls;
+      return static_cast<char*>(raw) + kHeader;
+    }
+    void* raw = ::operator new(need);
+    *static_cast<std::uint64_t*>(raw) = 0;  // pass-through marker
+    return static_cast<char*>(raw) + kHeader;
+  }
+
+  static void deallocate(void* p) noexcept {
+    if (p == nullptr) {
+      return;
+    }
+    void* raw = static_cast<char*>(p) - kHeader;
+    const std::uint64_t cls = *static_cast<std::uint64_t*>(raw);
+    if (cls == 0) {
+      ::operator delete(raw);
+      return;
+    }
+    Bin& bin = bins()[cls];
+    if (bin.count >= kMaxFree) {
+      ::operator delete(raw);
+      return;
+    }
+    *static_cast<void**>(raw) = bin.head;
+    bin.head = raw;
+    ++bin.count;
+  }
+
+ private:
+  struct Bin {
+    void* head = nullptr;
+    std::size_t count = 0;
+  };
+
+  static Bin* bins() {
+    thread_local Bin t_bins[kClasses];
+    return t_bins;
+  }
+};
+
+}  // namespace sv::sim

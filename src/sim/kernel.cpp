@@ -30,23 +30,43 @@ void Kernel::commit_mailbox() {
 }
 
 bool Kernel::dispatch_one(Tick bound) {
-  const Tick next = next_event_time();
-  if (next == kTickInvalid || next > bound) {
-    return false;
+  if (mailbox_.empty()) {
+    // Fast path (the overwhelmingly common case): no pending cross-domain
+    // messages, so the next event is simply the queue front. try_pop finds
+    // and removes it in one traversal — the general path below locates the
+    // front twice (next_time() to compare against the mailbox, pop() to
+    // take it). Dispatch order is identical: with an empty mailbox the
+    // comparisons below degenerate to exactly this.
+    EventQueue::Popped ev = events_.try_pop(bound);
+    if (!ev.fn) {
+      return false;
+    }
+    now_ = ev.when;
+    ev.fn();
+  } else {
+    const Tick qt = events_.empty() ? kTickInvalid : events_.next_time();
+    const Tick mt = mailbox_.top().when;
+    const Tick next = qt < mt ? qt : mt;
+    if (next > bound) {
+      return false;
+    }
+    now_ = next;
+    events_.advance(next);
+    if (mt == next) {
+      // Inject every mailbox message due now, in (src, seq) order: the heap
+      // hands them over sorted, and each gets a fresh queue sequence number,
+      // so they run after events already scheduled at this tick and before
+      // anything scheduled while it executes — independent of when they were
+      // posted, which is the property that keeps single-domain and
+      // partitioned runs identical.
+      do {
+        events_.push(next, std::move(mailbox_.top().fn));
+        mailbox_.pop();
+      } while (!mailbox_.empty() && mailbox_.top().when == next);
+    }
+    EventQueue::Popped ev = events_.pop();
+    ev.fn();
   }
-  now_ = next;
-  // Inject every mailbox message due now, in (src, seq) order: the heap
-  // hands them over sorted, and each gets a fresh queue sequence number, so
-  // they run after events already scheduled at this tick and before
-  // anything scheduled while it executes — independent of when they were
-  // posted, which is the property that keeps single-domain and partitioned
-  // runs identical.
-  while (!mailbox_.empty() && mailbox_.top().when == next) {
-    events_.push(next, std::move(mailbox_.top().fn));
-    mailbox_.pop();
-  }
-  auto fn = events_.pop();
-  fn();
   ++executed_;
   ++run_executed_;
   if (event_limit_ != 0 && run_executed_ >= event_limit_) {
@@ -68,6 +88,7 @@ Tick Kernel::run_until(Tick t) {
   }
   if (now_ < t) {
     now_ = t;
+    events_.advance(t);
   }
   return now_;
 }

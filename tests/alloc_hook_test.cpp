@@ -1,0 +1,167 @@
+// Allocation-counting hook: proves the kernel hot path is allocation-free.
+//
+// This binary replaces the global operator new/delete with counting
+// versions (DESIGN.md §11). Each test warms the relevant path up — letting
+// coroutine frames seed the FramePool freelists, PacketPool slots get
+// created, event-queue buckets reach steady occupancy — then snapshots the
+// allocation counter across a steady-state window and requires it not to
+// move. Any regression that reintroduces a heap allocation per event
+// dispatch or per packet hop (an oversized lambda falling back to
+// std::function, a payload growing a vector again, a coroutine frame
+// missing the pool) fails here with an exact count.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "net/link.hpp"
+#include "net/network.hpp"
+#include "sim/coro.hpp"
+#include "sim/kernel.hpp"
+
+namespace {
+
+std::atomic<std::uint64_t> g_news{0};
+
+}  // namespace
+
+// Counting global allocator. Counts every allocation in the process (gtest
+// included), so tests only compare deltas across windows where the code
+// under test runs alone.
+void* operator new(std::size_t n) {
+  g_news.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  g_news.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(n);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+namespace sv {
+namespace {
+
+std::uint64_t allocs() { return g_news.load(std::memory_order_relaxed); }
+
+// --- Event dispatch -------------------------------------------------------
+
+// A self-rescheduling event chain: the canonical steady-state workload.
+// Capture is 24 bytes — well inside InlineFunc's inline buffer.
+struct Ticker {
+  sim::Kernel* k;
+  std::uint64_t remaining;
+  sim::Tick delta;
+
+  void operator()() {
+    if (remaining == 0) {
+      return;
+    }
+    --remaining;
+    k->schedule(delta, Ticker{*this});
+  }
+};
+
+TEST(AllocHook, EventDispatchIsAllocationFree) {
+  sim::Kernel k;
+  // Warmup: grows the wheel's bucket vectors to steady occupancy.
+  k.schedule(1, Ticker{&k, 10'000, 100});
+  k.run();
+
+  const std::uint64_t before = allocs();
+  k.schedule(1, Ticker{&k, 100'000, 100});
+  k.run();
+  EXPECT_EQ(allocs() - before, 0u)
+      << "schedule/dispatch allocated on the steady-state path";
+}
+
+TEST(AllocHook, FarEventsUseOnlyTheWarmHeap) {
+  sim::Kernel k;
+  // Far-future deltas (beyond the wheel horizon) go through the binary
+  // heap; after warmup its backing vector no longer grows.
+  k.schedule(1, Ticker{&k, 10'000, 1'000'000});
+  k.run();
+
+  const std::uint64_t before = allocs();
+  k.schedule(1, Ticker{&k, 100'000, 1'000'000});
+  k.run();
+  EXPECT_EQ(allocs() - before, 0u);
+}
+
+// --- Packet hop over a Link ----------------------------------------------
+
+TEST(AllocHook, LinkPacketHopIsAllocationFree) {
+  sim::Kernel k;
+  net::Link link(k, "l", {});
+  std::uint64_t received = 0;
+  link.set_sink([&](net::Packet&& p) {
+    ++received;
+    link.return_credit(p.priority);
+  });
+
+  auto burst = [&](std::uint64_t count) -> sim::Co<void> {
+    for (std::uint64_t i = 0; i < count; ++i) {
+      net::Packet pkt;
+      pkt.dest = 1;
+      pkt.serial = i + 1;
+      pkt.payload.resize(64);
+      co_await link.send(std::move(pkt));
+    }
+  };
+
+  // Warmup: seeds FramePool freelists (send/delay coroutine frames) and
+  // the link's PacketPool slot.
+  sim::spawn(burst(300));
+  k.run();
+  ASSERT_EQ(received, 300u);
+
+  const std::uint64_t before = allocs();
+  sim::spawn(burst(1'000));
+  k.run();
+  EXPECT_EQ(allocs() - before, 0u)
+      << "a packet hop across a warm link allocated";
+  EXPECT_EQ(received, 1'300u);
+}
+
+// --- Packet delivery through IdealNetwork --------------------------------
+
+TEST(AllocHook, IdealNetworkSteadyStateIsAllocationFree) {
+  sim::Kernel k;
+  net::IdealNetwork net(k, "net", {.nodes = 2});
+  std::uint64_t received = 0;
+  net.set_endpoint(0, [&](net::Packet&&) {});
+  net.set_endpoint(1, [&](net::Packet&&) { ++received; });
+
+  auto burst = [&](std::uint64_t count) -> sim::Co<void> {
+    for (std::uint64_t i = 0; i < count; ++i) {
+      net::Packet pkt;
+      pkt.src = 0;
+      pkt.dest = 1;
+      pkt.payload.resize(64);
+      co_await net.inject(std::move(pkt));
+    }
+  };
+
+  sim::spawn(burst(300));
+  k.run();
+  ASSERT_EQ(received, 300u);
+
+  const std::uint64_t before = allocs();
+  sim::spawn(burst(1'000));
+  k.run();
+  EXPECT_EQ(allocs() - before, 0u)
+      << "an IdealNetwork inject->deliver round allocated";
+  EXPECT_EQ(received, 1'300u);
+}
+
+}  // namespace
+}  // namespace sv

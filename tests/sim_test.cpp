@@ -20,9 +20,124 @@ TEST(EventQueue, OrdersByTimeThenSequence) {
   q.push(10, [&] { order.push_back(0); });
   q.push(10, [&] { order.push_back(1); });
   while (!q.empty()) {
-    q.pop()();
+    q.pop().fn();
   }
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(EventQueue, EqualTickFifoAcrossWheelAndHeap) {
+  // Two events at the same tick, one scheduled while the tick was beyond
+  // the wheel horizon (heap) and one after it came inside (wheel), must
+  // still pop in insertion order — the (tick, seq) key spans both levels.
+  EventQueue q;
+  std::vector<int> order;
+  const Tick t = EventQueue::kHorizonTicks + 100;
+  q.push(t, [&] { order.push_back(0); });      // beyond horizon: heap
+  q.push(1, [&] { order.push_back(-1); });
+  EXPECT_EQ(q.pop().when, 1u);                 // floor advances past 1
+  order.clear();
+  q.push(t, [&] { order.push_back(1); });      // still beyond: heap
+  q.advance(200);                              // t now inside the window
+  q.push(t, [&] { order.push_back(2); });      // wheel
+  q.push(t, [&] { order.push_back(3); });      // wheel
+  while (!q.empty()) {
+    EXPECT_EQ(q.next_time(), t);
+    q.pop().fn();
+  }
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(EventQueue, WheelRolloverPastHorizon) {
+  // March a self-rescheduling chain far enough that every wheel bucket is
+  // reused several times; ordering must hold across every wrap.
+  EventQueue q;
+  constexpr Tick kStep = EventQueue::kHorizonTicks / 3 + 7;
+  Tick last = 0;
+  std::uint64_t fired = 0;
+  struct Chain {
+    EventQueue* q;
+    Tick* last;
+    std::uint64_t* fired;
+    Tick at;
+    void operator()() const {
+      EXPECT_GE(at, *last);
+      *last = at;
+      ++*fired;
+      if (*fired < 64) {
+        q->push(at + kStep, Chain{q, last, fired, at + kStep});
+      }
+    }
+  };
+  q.push(kStep, Chain{&q, &last, &fired, kStep});
+  while (!q.empty()) {
+    auto p = q.pop();
+    q.advance(p.when);
+    p.fn();
+  }
+  EXPECT_EQ(fired, 64u);
+  EXPECT_EQ(last, 64 * kStep);  // > 20 horizons: many full revolutions
+}
+
+TEST(EventQueue, FarFutureEventsStayOrdered) {
+  // Events far beyond the horizon (heap residents) interleaved with near
+  // ones; pops must come out in global (tick, seq) order.
+  EventQueue q;
+  std::vector<Tick> pops;
+  for (Tick t : {EventQueue::kHorizonTicks * 5, Tick{3},
+                 EventQueue::kHorizonTicks * 2, Tick{50},
+                 EventQueue::kHorizonTicks + 1}) {
+    q.push(t, [] {});
+    pops.push_back(t);
+  }
+  std::sort(pops.begin(), pops.end());
+  for (const Tick expect : pops) {
+    ASSERT_FALSE(q.empty());
+    EXPECT_EQ(q.next_time(), expect);
+    auto p = q.pop();
+    EXPECT_EQ(p.when, expect);
+    q.advance(p.when);
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, OutOfOrderBurstIntoOneBucketPopsSorted) {
+  // 64 events pushed in scrambled time order into one 16-tick bucket:
+  // exercises the lazy tail sort, including the large-bucket key-sort
+  // path, and same-tick FIFO within the sorted bucket.
+  EventQueue q;
+  constexpr int kN = 64;
+  std::vector<int> order;
+  for (int i = 0; i < kN; ++i) {
+    const Tick t = 1 + static_cast<Tick>((kN - 1 - i) % 13);
+    q.push(t, [&order, i] { order.push_back(i); });
+  }
+  Tick prev = 0;
+  while (!q.empty()) {
+    auto p = q.pop();
+    EXPECT_GE(p.when, prev);
+    prev = p.when;
+    p.fn();
+  }
+  ASSERT_EQ(order.size(), static_cast<std::size_t>(kN));
+  // Same-tick events (same value of (kN-1-i) % 13) must pop in push order.
+  for (std::size_t j = 1; j < order.size(); ++j) {
+    if ((kN - 1 - order[j]) % 13 == (kN - 1 - order[j - 1]) % 13) {
+      EXPECT_LT(order[j - 1], order[j]);
+    }
+  }
+}
+
+TEST(EventQueue, TryPopRespectsBound) {
+  EventQueue q;
+  q.push(100, [] {});
+  auto none = q.try_pop(99);
+  EXPECT_EQ(none.when, kTickInvalid);
+  EXPECT_FALSE(static_cast<bool>(none.fn));
+  EXPECT_EQ(q.size(), 1u);  // declined pop leaves the queue intact
+  auto got = q.try_pop(100);
+  EXPECT_EQ(got.when, 100u);
+  EXPECT_TRUE(static_cast<bool>(got.fn));
+  EXPECT_TRUE(q.empty());
 }
 
 TEST(Kernel, AdvancesTimeMonotonically) {
