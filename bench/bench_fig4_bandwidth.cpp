@@ -51,8 +51,16 @@ void BM_Fig4_Bandwidth(benchmark::State& state) {
       static_cast<double>(len) * static_cast<double>(runs) /
       (static_cast<double>(total) * kPsToSec) / 1e6;
   state.counters["approach"] = approach;
-  state.counters["host_events/s"] =
+  const double events_per_sec =
       host_sec > 0 ? static_cast<double>(events) / host_sec : 0;
+  state.counters["host_events/s"] = events_per_sec;
+  // Recorded under the same JSON/baseline machinery as bench_kernel, so
+  // the CI perf-smoke job can gate the END-TO-END sweep (machine-level
+  // slowdowns the kernel microbench can't see) against
+  // bench/baseline_fig4.json.
+  record_kernel_result("fig4_a" + std::to_string(approach) + "_" +
+                           std::to_string(len),
+                       events_per_sec);
   maybe_write_trace(machine);
 }
 
@@ -85,6 +93,10 @@ int main(int argc, char** argv) {
   sv::bench::parse_quick_flag(argc, argv);
   sv::bench::parse_trace_flag(argc, argv);
   sv::bench::parse_fault_flags(argc, argv);
+  // Separate default from bench_kernel's so a CI job running both benches
+  // in one directory never has one overwrite the other's results.
+  sv::bench::g_kernel_json_out = "BENCH_fig4.json";
+  sv::bench::parse_kernel_json_flags(argc, argv);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
     return 1;
@@ -92,5 +104,5 @@ int main(int argc, char** argv) {
   sv::bench::register_fig4();
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  return 0;
+  return sv::bench::finalize_kernel_results();
 }

@@ -15,6 +15,7 @@
 #include "mem/bus.hpp"
 #include "mem/cache.hpp"
 #include "sim/coro.hpp"
+#include "sim/fastpath.hpp"
 #include "sim/kernel.hpp"
 #include "sim/stats.hpp"
 
@@ -25,6 +26,11 @@ class Processor : public sim::SimObject, public mem::BusDevice {
   struct Params {
     sim::Clock clock{6000};        // 166.67 MHz 604e
     sim::Cycles op_overhead = 2;   // issue overhead per memory operation
+    /// Quantum batching: fold a guaranteed single-chunk cache hit (work
+    /// charge + hit delay) into one kernel event when the access provably
+    /// cannot observe or affect shared state (DESIGN.md §12). Bit-identical
+    /// either way; defaults off under SV_NO_FASTPATH=1.
+    bool fastpath = sim::fastpath_default();
   };
 
   /// `cache` may be null (the sP model runs uncached).
@@ -85,15 +91,65 @@ class Processor : public sim::SimObject, public mem::BusDevice {
   [[nodiscard]] sim::Tick busy() const { return busy_.busy(); }
   [[nodiscard]] const sim::Counter& ops() const { return ops_; }
 
+  /// Simulated ticks covered by batched quanta. Deliberately an accessor,
+  /// not a StatRegistry entry: it is zero in slow mode by construction and
+  /// the registry dump must stay byte-identical across modes.
+  [[nodiscard]] sim::Tick quantum_ticks() const { return quantum_ticks_; }
+
   // --- BusDevice (the processor masters the bus for uncached ops; it never
   // claims addresses or holds state, so snooping is trivial) ---
   [[nodiscard]] std::string_view device_name() const override {
     return name();
   }
   mem::SnoopResult bus_snoop(const mem::BusRequest&) override { return {}; }
+  [[nodiscard]] bool bus_snoop_stable(const mem::BusRequest&) const override {
+    return true;  // bus_snoop is unconditionally kIgnore
+  }
+  [[nodiscard]] bool bus_observe_trivial(
+      const mem::BusRequest&) const override {
+    return true;  // bus_observe is the default no-op
+  }
+  void fastpath_revoke() override { batch_revoke(); }
 
  private:
   class BusyScope;
+
+  /// In-flight batched quantum. At most one can exist per processor: the
+  /// issuing program is suspended in BatchAwait until it completes or is
+  /// revoked.
+  struct Batch {
+    bool live = false;
+    std::uint64_t gen = 0;   // liveness token for the completion event
+    int wake = 0;            // 0 completed; 1 revoked, resume at the work key
+    std::uint64_t s0 = 0;    // work-phase key; completion key is s0 + 1
+    sim::Tick t0 = 0;        // operation entry time
+    sim::Tick t_work = 0;    // end of the issue-overhead charge
+    sim::Tick t_end = 0;     // completion (t_work + cache hit latency)
+    void* line = nullptr;    // cache line handle captured at engagement
+    mem::Addr addr = 0;
+    std::byte* rdata = nullptr;
+    const std::byte* wdata = nullptr;
+    std::size_t size = 0;
+    std::coroutine_handle<> waiter;
+  };
+
+  struct BatchAwait {
+    Processor& cpu;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) const {
+      cpu.batch_.waiter = h;
+    }
+    int await_resume() const noexcept { return cpu.batch_.wake; }
+  };
+
+  /// Check quantum-batch eligibility for a cached access and, on success,
+  /// engage: lock the cache, fill batch_ and schedule the completion event
+  /// at (t_end, s0 + 1).
+  bool try_batch(mem::Addr a, std::byte* rdata, const std::byte* wdata,
+                 std::size_t size, std::uint64_t s0, sim::Tick t0);
+  void batch_complete(std::uint64_t gen);
+  void batch_revoke();
+  void batch_wake();
 
   /// Record a busy span mirroring a busy_.add_busy charge, so the trace
   /// lane's occupancy equals busy()/now exactly.
@@ -106,6 +162,8 @@ class Processor : public sim::SimObject, public mem::BusDevice {
   sim::Semaphore mutex_;
   sim::BusyTracker busy_;
   sim::Counter ops_;
+  sim::Tick quantum_ticks_ = 0;
+  Batch batch_;
   trace::TrackId trace_track_ = trace::kNoTrack;
 };
 

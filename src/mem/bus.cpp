@@ -1,7 +1,7 @@
 #include "mem/bus.hpp"
 
+#include <algorithm>
 #include <cassert>
-#include <cstdlib>
 #include <stdexcept>
 
 namespace sv::mem {
@@ -68,21 +68,242 @@ sim::Co<void> MemBus::wait_cycles(sim::Cycles c) {
   co_await sim::delay(kernel_, params_.clock.to_ticks(c));
 }
 
-sim::Co<void> MemBus::align_to_edge() {
-  co_await sim::delay(kernel_, params_.clock.until_next_edge(now()));
+// --- Fast path (DESIGN.md §12) ---------------------------------------------
+
+bool MemBus::fast_blockers() const {
+  if (kernel_.fault_injector() != nullptr) {
+    return true;
+  }
+  trace::Tracer* tr = kernel_.tracer();
+  return tr != nullptr && tr->enabled();
 }
+
+bool MemBus::plan_fast(const BusRequest& req, std::uint64_t s0,
+                       sim::Tick start, sim::Tick t1, sim::Tick t2) {
+  if (fast_blockers()) {
+    return false;
+  }
+  if (addr_bus_.available() != 1 || data_bus_.available() != 1 ||
+      fast_rec_.wake_pending) {
+    return false;
+  }
+  // Address-only ops and flushes stay slow: their control flow depends on
+  // the live snoop outcome in ways the bypass does not model.
+  if (op_address_only(req.op) || req.op == BusOp::kFlush) {
+    return false;
+  }
+  int accept = -1;
+  sim::Cycles accept_latency = 0;
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    if (static_cast<int>(i) == req.requester) {
+      continue;
+    }
+    // Stable snoops are pure, so sampling them early equals sampling them
+    // in the address tenure.
+    SnoopResult sr;
+    if (!devices_[i]->bus_fast_probe(req, &sr)) {
+      return false;
+    }
+    if (sr.action == SnoopAction::kAccept) {
+      if (accept >= 0) {
+        return false;  // let the slow path's assert flag the double claim
+      }
+      accept = static_cast<int>(i);
+      accept_latency = sr.latency;
+    } else if (sr.action != SnoopAction::kIgnore) {
+      return false;  // stability contract violated; stay safe
+    }
+  }
+  if (accept < 0) {
+    return false;
+  }
+
+  FastRecord& r = fast_rec_;
+  assert(!r.live && "a live fast record implies a held address bus");
+  const sim::Cycles beats =
+      std::max<sim::Cycles>(1, (req.size + kBeatBytes - 1) / kBeatBytes);
+  r.live = true;
+  r.committed = false;
+  ++r.gen;
+  r.wake_phase = 0;
+  r.s0 = s0;
+  r.has_lead = req.lead_ticks > 0;
+  r.t_lead = start;
+  r.start = start;
+  r.t1 = t1;
+  r.t2 = t2;
+  r.t3 = t2 + params_.clock.to_ticks(accept_latency + beats);
+  r.beats = beats;
+  r.accept_device = accept;
+  r.req = req;
+  r.res = BusResult{};
+  r.res.responder = accept;
+
+  const bool got = addr_bus_.try_acquire();
+  assert(got);
+  (void)got;
+  kernel_.schedule_at_seq(r.t3, s0 + 2,
+                          [this, gen = r.gen] { fast_complete(gen); });
+  return true;
+}
+
+void MemBus::fast_complete(std::uint64_t gen) {
+  FastRecord& r = fast_rec_;
+  if (!r.live || r.gen != gen) {
+    return;  // revoked; this event is dead
+  }
+  // Everything below reproduces the slow path's actions at its final
+  // dispatch (t3, s0+2), in the same order, so downstream fresh-sequence
+  // consumption (semaphore wakes, observer spawns) lines up exactly.
+  stats_.transactions.inc();
+  stats_.data_beats.inc(r.beats);
+  stats_.data_busy.add_busy(r.t3 - r.t2);
+  if (op_reads_data(r.req.op)) {
+    devices_[r.accept_device]->bus_read_data(
+        r.req, std::span<std::byte>(r.req.rdata, r.req.size));
+  } else {
+    devices_[r.accept_device]->bus_write_data(
+        r.req, std::span<const std::byte>(r.req.wdata, r.req.size));
+  }
+  if (r.committed) {
+    data_bus_.release();
+  } else {
+    // Never revoked: no other master ever arbitrated, so nobody queued on
+    // the address bus and this release cannot wake anyone.
+    addr_bus_.release();
+  }
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    if (static_cast<int>(i) != r.req.requester) {
+      devices_[i]->bus_observe(r.req, r.res);
+    }
+  }
+  stats_.latency_ps.sample(r.t3 - r.start);
+  ++fast_hits_;
+  r.live = false;
+  r.wake_phase = 0;
+  // Resume last: the continuation may start new transactions that re-use
+  // the record. transact() copies the result out before control returns.
+  r.waiter.resume();
+}
+
+void MemBus::fast_wake() {
+  // The record is already marked dead; hand control back to the coroutine,
+  // which continues on the slow path from the reserved phase point it was
+  // woken at (wake_phase tells it which). Clearing wake_pending first
+  // releases the record for re-engagement — the resumed continuation may
+  // start new transactions.
+  fast_rec_.wake_pending = false;
+  fast_rec_.waiter.resume();
+}
+
+void MemBus::revoke_fastpaths() {
+  if (!params_.fastpath) {
+    return;
+  }
+  if (live_device_fast_ != 0) {
+    for (BusDevice* d : devices_) {
+      d->fastpath_revoke();
+    }
+  }
+  FastRecord& r = fast_rec_;
+  if (!r.live || r.committed) {
+    return;
+  }
+  const sim::Tick t = kernel_.now();
+  const std::uint64_t s = kernel_.current_seq();
+  if (r.has_lead &&
+      (t < r.t_lead || (t == r.t_lead && s < r.s0 - 1))) {
+    // Lead-in (issue/decode) window: the slow path would hold nothing yet,
+    // so un-seize the address bus (nobody can be queued on it: it was free
+    // at engagement and every acquirer since revokes first) and wake at
+    // the lead key. The coroutine re-runs the slow path from arbitration —
+    // behind the revoker, exactly as the slow schedule would order it.
+    ++r.gen;
+    r.wake_phase = 1;
+    r.live = false;
+    r.wake_pending = true;
+    addr_bus_.release();
+    kernel_.schedule_at_seq(r.t_lead, r.s0 - 1, [this] { fast_wake(); });
+  } else if (t < r.t1 || (t == r.t1 && s < r.s0)) {
+    // Arbitration window: cancel the completion and resume the coroutine
+    // at the align edge — exactly where the slow path's first phase event
+    // would have dispatched. The address bus stays held, as it would be.
+    ++r.gen;
+    r.wake_phase = 2;
+    r.live = false;
+    r.wake_pending = true;
+    kernel_.schedule_at_seq(r.t1, r.s0, [this] { fast_wake(); });
+  } else if (t < r.t2 || (t == r.t2 && s < r.s0 + 1)) {
+    // Address tenure in progress: resume at its end and re-run the snoop
+    // window live (the revoker may change what snoopers answer).
+    ++r.gen;
+    r.wake_phase = 3;
+    r.live = false;
+    r.wake_pending = true;
+    kernel_.schedule_at_seq(r.t2, r.s0 + 1, [this] { fast_wake(); });
+  } else {
+    // Address tenure complete: this is a commit, not a revocation. Move
+    // the resource state to what the slow path would hold during a data
+    // tenure (address bus free, data bus held); the completion event
+    // stays live and finishes on the slow schedule.
+    r.committed = true;
+    addr_bus_.release();
+    const bool got = data_bus_.try_acquire();
+    assert(got && "data bus must be free while a fast record is live");
+    (void)got;
+  }
+}
+
+// --- Transactions ----------------------------------------------------------
 
 sim::Co<BusResult> MemBus::transact(int requester_id, BusRequest req) {
   req.requester = requester_id;
-  const sim::Tick start = now();
+  // Entry is the revocation choke point: any new master (or any operation
+  // that could invalidate a fast path's assumptions) passes through here
+  // before arbitrating, so in-flight bypasses fold back onto the slow
+  // schedule before this transaction can observe anything.
+  revoke_fastpaths();
+  const sim::Tick lead = req.lead_ticks;
+  // Issue time: where the slow path finishes the requester's folded-in
+  // lead (work/decode) delay and begins arbitrating. Latency stats are
+  // measured from here, so fused and unfused callers sample identically.
+  const sim::Tick start = now() + lead;
+  // Reserve the dispatch keys of all timed phases up front — in BOTH
+  // modes — so fast and slow runs issue identical sequence numbers at
+  // identical program points. This pins the global dispatch order, which
+  // is the entire bit-identity argument (DESIGN.md §12). A folded lead
+  // delay adds one key (s0 - 1) ahead of the three phase keys.
+  const std::uint64_t s_base = kernel_.reserve_seqs(lead > 0 ? 4 : 3);
+  const std::uint64_t s0 = lead > 0 ? s_base + 1 : s_base;
+  const sim::Tick t1 = start + params_.clock.until_next_edge(start);
+  const sim::Tick t2 = t1 + params_.clock.to_ticks(params_.address_cycles);
 
-  // --- Address tenure -----------------------------------------------------
-  co_await addr_bus_.acquire();
-  co_await align_to_edge();
-  co_await wait_cycles(params_.address_cycles);
+  int resume_phase = 0;
+  if (params_.fastpath && plan_fast(req, s0, start, t1, t2)) {
+    const int phase = co_await FastAwait{*this};
+    if (phase == 0) {
+      co_return fast_rec_.res;  // completed in one event
+    }
+    resume_phase = phase;  // revoked: continue on the slow path below
+  }
+
+  // --- Lead-in --------------------------------------------------------------
+  if (resume_phase == 0 && lead > 0) {
+    co_await sim::seq_delay(kernel_, start, s_base);
+  }
+  // --- Address tenure -------------------------------------------------------
+  if (resume_phase <= 1) {
+    co_await addr_bus_.acquire();
+    co_await sim::seq_delay(
+        kernel_, now() + params_.clock.until_next_edge(now()), s0);
+  }
+  if (resume_phase <= 2) {
+    co_await sim::seq_delay(
+        kernel_, now() + params_.clock.to_ticks(params_.address_cycles),
+        s0 + 1);
+  }
 
   BusResult res;
-  SnoopResult winner;          // the responder's snoop result
   int accept_device = -1;      // device that claimed the address (memory)
   sim::Cycles accept_latency = 0;
   int modified_device = -1;    // device performing intervention
@@ -167,10 +388,9 @@ sim::Co<BusResult> MemBus::transact(int requester_id, BusRequest req) {
   co_await data_bus_.acquire();
   const sim::Tick data_start = now();
   const sim::Cycles beats =
-      (req.size + kBeatBytes - 1) / kBeatBytes > 0
-          ? (req.size + kBeatBytes - 1) / kBeatBytes
-          : 1;
-  co_await wait_cycles(latency + beats);
+      std::max<sim::Cycles>(1, (req.size + kBeatBytes - 1) / kBeatBytes);
+  co_await sim::seq_delay(
+      kernel_, now() + params_.clock.to_ticks(latency + beats), s0 + 2);
   stats_.data_beats.inc(beats);
   stats_.data_busy.add_busy(now() - data_start);
   if (trace::Tracer* tr = trace_target()) {
@@ -218,6 +438,7 @@ sim::Co<BusResult> MemBus::transact_retry(int requester_id, BusRequest req,
   unsigned tries = 0;
   for (;;) {
     BusResult res = co_await transact(requester_id, req);
+    req.lead_ticks = 0;  // issue/decode work precedes only the first attempt
     if (!res.retried) {
       co_return res;
     }
@@ -227,6 +448,165 @@ sim::Co<BusResult> MemBus::transact_retry(int requester_id, BusRequest req,
     }
     co_await wait_cycles(params_.retry_backoff);
   }
+}
+
+// --- Tenure coalescing ------------------------------------------------------
+
+namespace {
+/// Upper bound on tenures folded into one event. Bounds the per-burst
+/// planning work and the quiet-window length the burst must prove.
+constexpr std::size_t kMaxBurstLines = 64;
+}  // namespace
+
+sim::Co<std::size_t> MemBus::transact_burst(int requester_id, Addr addr,
+                                            std::size_t lines,
+                                            std::byte* rdata,
+                                            const std::byte* wdata,
+                                            bool from_ap) {
+  assert((rdata != nullptr) != (wdata != nullptr));
+  if (!params_.fastpath || lines < 2 || fast_blockers() ||
+      addr_bus_.available() != 1 || data_bus_.available() != 1 ||
+      fast_rec_.wake_pending) {
+    co_return 0;
+  }
+  revoke_fastpaths();
+
+  const BusOp op = rdata != nullptr ? BusOp::kRead : BusOp::kWriteLine;
+  const std::size_t n = std::min(lines, kMaxBurstLines);
+  const sim::Tick start = now();
+
+  // Plan every tenure; bail to the per-tenure path on the first one whose
+  // interference-freedom cannot be proven. Responder latency can differ
+  // per line, so timing is accumulated tenure by tenure. The first tenure
+  // pays the caller's alignment; each completion lands on a clock edge, so
+  // later tenures align for free — the property that makes the whole burst
+  // closed-form.
+  std::vector<BurstTenure>& plan = burst_plan_;
+  plan.clear();
+  plan.reserve(n);
+
+  const sim::Cycles beats = kLineBytes / kBeatBytes;
+  sim::Tick t = start;
+  BusRequest probe;
+  probe.op = op;
+  probe.size = kLineBytes;
+  probe.requester = requester_id;
+  probe.from_ap = from_ap;
+  for (std::size_t li = 0; li < n; ++li) {
+    probe.addr = addr + li * kLineBytes;
+    int accept = -1;
+    sim::Cycles accept_latency = 0;
+    bool ok = true;
+    for (std::size_t i = 0; i < devices_.size(); ++i) {
+      if (static_cast<int>(i) == requester_id) {
+        continue;
+      }
+      BusDevice* d = devices_[i];
+      SnoopResult sr;
+      if (!d->bus_fast_probe(probe, &sr) || !d->bus_observe_trivial(probe)) {
+        ok = false;
+        break;
+      }
+      if (sr.action == SnoopAction::kAccept) {
+        if (accept >= 0) {
+          ok = false;
+          break;
+        }
+        accept = static_cast<int>(i);
+        accept_latency = sr.latency;
+      } else if (sr.action != SnoopAction::kIgnore) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok || accept < 0 || !devices_[accept]->bus_data_pure(probe)) {
+      break;
+    }
+    BurstTenure ten;
+    const sim::Tick t1 = t + params_.clock.until_next_edge(t);
+    ten.t2 = t1 + params_.clock.to_ticks(params_.address_cycles);
+    ten.t3 = ten.t2 + params_.clock.to_ticks(accept_latency + beats);
+    ten.accept = accept;
+    plan.push_back(ten);
+    t = ten.t3;
+  }
+  if (plan.size() < 2 || !kernel_.quiet_until(t)) {
+    co_return 0;
+  }
+
+  // Committed. Reserve the same three keys per tenure the per-tenure path
+  // would have (nothing else can dispatch inside the window, so the slow
+  // run's reservations are consecutive too), and fold all completions
+  // into one event at the last tenure's data-phase key.
+  const std::size_t count = plan.size();
+  const std::uint64_t s0 = kernel_.reserve_seqs(3 * count);
+  const std::uint64_t last_seq = s0 + 3 * count - 1;
+  const sim::Tick t_end = plan.back().t3;
+
+  struct BurstAwait {
+    MemBus& bus;
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) const {
+      bus.burst_rec_.waiter = h;
+    }
+    void await_resume() const noexcept {}
+  };
+
+  BurstRecord& b = burst_rec_;
+  b.requester = requester_id;
+  b.op = op;
+  b.addr = addr;
+  b.rdata = rdata;
+  b.wdata = wdata;
+  b.from_ap = from_ap;
+  b.start = start;
+  b.count = count;
+  kernel_.schedule_at_seq(t_end, last_seq, [this] { burst_complete(); });
+  co_await BurstAwait{*this};
+  co_return count;
+}
+
+void MemBus::burst_complete() {
+  // Replay every tenure's completion effects in order. All responders are
+  // data-pure and all observers trivial, so nothing here schedules events —
+  // stats and byte movement only — and the end state matches the
+  // per-tenure run exactly.
+  const BurstRecord& b = burst_rec_;
+  sim::Tick prev = b.start;
+  for (std::size_t li = 0; li < b.count; ++li) {
+    const BurstTenure& ten = burst_plan_[li];
+    BusRequest req;
+    req.op = b.op;
+    req.addr = b.addr + li * kLineBytes;
+    req.size = kLineBytes;
+    req.requester = b.requester;
+    req.from_ap = b.from_ap;
+    BusResult res;
+    res.responder = ten.accept;
+    stats_.transactions.inc();
+    stats_.data_beats.inc(kLineBytes / kBeatBytes);
+    stats_.data_busy.add_busy(ten.t3 - ten.t2);
+    if (b.op == BusOp::kRead) {
+      req.rdata = b.rdata + li * kLineBytes;
+      devices_[ten.accept]->bus_read_data(
+          req, std::span<std::byte>(req.rdata, kLineBytes));
+    } else {
+      req.wdata = b.wdata + li * kLineBytes;
+      devices_[ten.accept]->bus_write_data(
+          req, std::span<const std::byte>(req.wdata, kLineBytes));
+    }
+    for (std::size_t i = 0; i < devices_.size(); ++i) {
+      if (static_cast<int>(i) != b.requester) {
+        devices_[i]->bus_observe(req, res);
+      }
+    }
+    stats_.latency_ps.sample(ten.t3 - prev);
+    prev = ten.t3;
+  }
+  fast_hits_ += b.count;
+  // Resume last: the continuation may start a new burst that re-uses the
+  // record.
+  b.waiter.resume();
 }
 
 }  // namespace sv::mem

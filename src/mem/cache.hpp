@@ -11,6 +11,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string_view>
 #include <vector>
@@ -51,11 +52,23 @@ class SnoopingCache : public sim::SimObject, public BusDevice {
   SnoopingCache(sim::Kernel& kernel, std::string name, MemBus& bus,
                 Params params);
 
+  /// Sentinel for read/write's chunk_seqs: reserve sequence numbers here,
+  /// at call entry. Callers that pre-reserve (the processor, so its quantum
+  /// batch consumes the identical numbers) pass the reserved base instead.
+  static constexpr std::uint64_t kAutoSeqs = ~std::uint64_t{0};
+
+  /// Number of per-line chunks read()/write() split [addr, addr+size) into —
+  /// and thus the number of sequence numbers each consumes (one per chunk;
+  /// miss chunks leave theirs unused in every mode).
+  [[nodiscard]] static std::size_t chunk_count(Addr addr, std::size_t size);
+
   /// Cacheable read of up to arbitrary length (split per line internally).
-  sim::Co<void> read(Addr addr, std::span<std::byte> out);
+  sim::Co<void> read(Addr addr, std::span<std::byte> out,
+                     std::uint64_t chunk_seqs = kAutoSeqs);
 
   /// Cacheable write.
-  sim::Co<void> write(Addr addr, std::span<const std::byte> in);
+  sim::Co<void> write(Addr addr, std::span<const std::byte> in,
+                      std::uint64_t chunk_seqs = kAutoSeqs);
 
   /// dcbf: write back (if dirty) and invalidate one line.
   sim::Co<void> flush_line(Addr addr);
@@ -88,6 +101,60 @@ class SnoopingCache : public sim::SimObject, public BusDevice {
                       std::span<const std::byte> in) override;
   void bus_observe(const BusRequest& req, const BusResult& res) override;
 
+  // Fast-path contract: when we hold no line for the address, the snoop is
+  // a pure miss and the observe a no-op — and a line can only appear via a
+  // bus transaction, which revokes in-flight fast paths on entry.
+  [[nodiscard]] bool bus_snoop_stable(const BusRequest& req) const override {
+    return find_line(req.addr) == nullptr;
+  }
+  [[nodiscard]] bool bus_observe_trivial(const BusRequest& req) const override {
+    return find_line(req.addr) == nullptr;
+  }
+  /// Fused stable+snoop: one line search instead of the default's two
+  /// (stability implies a miss, and a miss snoops kIgnore).
+  [[nodiscard]] bool bus_fast_probe(const BusRequest& req,
+                                    SnoopResult* out) override {
+    if (find_line(req.addr) != nullptr) {
+      return false;
+    }
+    *out = SnoopResult{};
+    return true;
+  }
+
+  // --- Processor quantum-batch support (DESIGN.md §12) --------------------
+  // The processor folds a guaranteed single-chunk hit into one kernel event.
+  // These helpers give it the pieces without exposing cache internals.
+
+  /// Engage a batch: when [addr, addr+size) is a single-chunk guaranteed
+  /// hit (line present; writes need M/E) and the cache is idle, acquire the
+  /// operation mutex and return an opaque line handle; else return nullptr.
+  /// The caller must finish with batch_commit() or batch_abort().
+  [[nodiscard]] void* batch_begin(Addr addr, std::size_t size, bool is_write);
+
+  /// Release the mutex of an engaged batch without side effects (early
+  /// revocation: the caller re-runs the access on the slow path).
+  void batch_abort();
+
+  /// Complete an engaged batch: hit stats, byte movement, M on write,
+  /// LRU touch, mutex release — exactly the slow hit path's actions at its
+  /// post-delay dispatch. The line handle was captured at engagement and is
+  /// committed blindly, mirroring the slow path's capture-across-delay.
+  void batch_commit(void* line_handle, Addr addr, std::byte* rdata,
+                    const std::byte* wdata, std::size_t size);
+
+  /// Hit latency in ticks (the batch's only timed component).
+  [[nodiscard]] sim::Tick hit_ticks() const {
+    return params_.cpu_clock.to_ticks(params_.hit_cycles);
+  }
+
+  /// Install the owning processor's revocation hook. The cache calls it on
+  /// entry to every path that could interleave with an in-flight batch
+  /// (flush/invalidate/purge and direct read/write), before taking the
+  /// operation mutex, so the batch folds back onto the slow schedule first.
+  void set_fastpath_revoke(std::function<void()> hook) {
+    revoke_hook_ = std::move(hook);
+  }
+
  private:
   struct Line {
     Addr tag = 0;
@@ -116,6 +183,13 @@ class SnoopingCache : public sim::SimObject, public BusDevice {
   std::uint64_t lru_clock_ = 0;
   sim::Semaphore op_mutex_;  // one processor-side operation at a time
   CacheStats stats_;
+  std::function<void()> revoke_hook_;
+
+  void revoke_batches() {
+    if (revoke_hook_) {
+      revoke_hook_();
+    }
+  }
 };
 
 }  // namespace sv::mem

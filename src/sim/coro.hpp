@@ -199,6 +199,27 @@ struct DelayAwaiter {
 /// co_await delay(kernel, dt): resume dt ticks later (dt==0 yields).
 inline DelayAwaiter delay(Kernel& k, Tick dt) { return DelayAwaiter{k, dt}; }
 
+struct SeqDelayAwaiter {
+  Kernel& kernel;
+  Tick when;           // absolute
+  std::uint64_t seq;   // reserved via Kernel::reserve_seqs
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h) const {
+    kernel.schedule_at_seq(when, seq, [h] { h.resume(); });
+  }
+  void await_resume() const noexcept {}
+};
+
+/// co_await seq_delay(kernel, when, seq): resume at absolute time `when`
+/// under a pre-reserved dispatch sequence number. The slow path of a
+/// fast-path-capable operation uses this for every timed phase, so the
+/// phase occupies exactly the dispatch-order slot that was reserved at the
+/// operation's entry — the mechanism behind fast/slow bit-identity
+/// (DESIGN.md §12).
+inline SeqDelayAwaiter seq_delay(Kernel& k, Tick when, std::uint64_t seq) {
+  return SeqDelayAwaiter{k, when, seq};
+}
+
 // ---------------------------------------------------------------------------
 // OneShot: sticky one-shot broadcast.
 // ---------------------------------------------------------------------------
@@ -252,9 +273,14 @@ class Signal {
   explicit Signal(Kernel& k) : kernel_(&k) {}
 
   void pulse() {
-    auto ws = std::move(waiters_);
-    waiters_.clear();
-    for (auto h : ws) {
+    // Swap through a scratch vector instead of moving-and-destroying, so
+    // both buffers' capacity survives and the steady pulse/wait cycle
+    // allocates nothing (tests/alloc_hook_test.cpp). Waiters registered by
+    // the resumed coroutines land in the (empty) waiters_ and only see
+    // later pulses, as before.
+    scratch_.clear();
+    waiters_.swap(scratch_);
+    for (auto h : scratch_) {
       kernel_->schedule(0, [h] { h.resume(); });
     }
   }
@@ -282,6 +308,7 @@ class Signal {
  private:
   Kernel* kernel_;
   std::vector<std::coroutine_handle<>> waiters_;
+  std::vector<std::coroutine_handle<>> scratch_;  // recycled by pulse()
 };
 
 // ---------------------------------------------------------------------------
@@ -428,6 +455,19 @@ class Semaphore {
       void await_resume() const noexcept {}
     };
     return Awaiter{this};
+  }
+
+  /// Synchronous acquire attempt — succeeds exactly when the awaitable
+  /// acquire() would have completed without suspending. Fast paths use it
+  /// to take a permit they have already proven free; on revocation the
+  /// permit is handed back with release(), which with no waiters (the only
+  /// state a fast path can be granted in) is side-effect-free.
+  bool try_acquire() {
+    if (count_ > 0) {
+      --count_;
+      return true;
+    }
+    return false;
   }
 
   void release() {

@@ -18,9 +18,21 @@ EventQueue::EventQueue() : buckets_(kBuckets) {
 }
 
 void EventQueue::push(Tick when, Callback fn) {
-  const std::uint64_t seq = next_seq_++;
+  push_at_seq(when, next_seq_++, std::move(fn));
+}
+
+void EventQueue::push_at_seq(Tick when, std::uint64_t seq, Callback fn) {
   if (!in_window(when)) {
-    heap_.push(Rec{when, seq, std::move(fn)});
+    std::uint32_t idx;
+    if (!far_free_.empty()) {
+      idx = far_free_.back();
+      far_free_.pop_back();
+      far_slab_[idx] = std::move(fn);
+    } else {
+      idx = static_cast<std::uint32_t>(far_slab_.size());
+      far_slab_.push_back(std::move(fn));
+    }
+    heap_.push(HeapRec{when, seq, idx});
     // A far event can still be the earliest overall; pop() compares the
     // heap top against the wheel front, so no cache to invalidate.
     return;
@@ -29,26 +41,58 @@ void EventQueue::push(Tick when, Callback fn) {
   Bucket& b = buckets_[bi];
   // Push is always an O(1) append. Chained workloads schedule in monotone
   // time order, so the append usually keeps the bucket sorted by
-  // (when, seq) — seq is globally monotone, so "not earlier than the
-  // current tail" suffices — and the bucket never needs a sort at all.
-  // Out-of-order arrivals (bursts with random deltas) just flag the
-  // bucket; front_bucket() sorts the pending tail once when the bucket
-  // becomes the earliest. Unconditionally sorting on activation profiled
-  // at ~17% of chained dispatch; sorted-insert on every push is O(n) per
-  // event for bursty buckets. The flag gives each workload its cheap path.
-  const bool in_order = b.items.empty() || b.items.back().when <= when;
+  // (when, seq) and the bucket never needs a sort at all. The comparison
+  // is on the full key: events carrying a reserved (older) sequence
+  // number may arrive after a same-tick event with a fresher one.
+  const bool in_order =
+      b.items.empty() || b.items.back().when < when ||
+      (b.items.back().when == when && b.items.back().seq <= seq);
   b.items.push_back(Rec{when, seq, std::move(fn)});
   set_bit(bi);
   ++wheel_count_;
   if (!in_order) {
-    b.unsorted = true;
-    if (bi == cur_bucket_) {
-      cur_bucket_ = kNoBucket;  // front cache requires a sorted bucket
+    // Out-of-order arrival. Reserved-key pushes (fast-path completions,
+    // DESIGN.md §12) usually land only a handful of slots behind the tail,
+    // so first try a bounded backward scan and rotate into place — the
+    // bucket stays sorted and front_bucket() never pays a tail sort for
+    // it. Arrivals further than kNearShift slots out of order (bursts with
+    // random deltas) fall back to flagging the bucket; front_bucket()
+    // sorts the pending tail once when the bucket becomes the earliest.
+    // Unconditionally sorting on activation profiled at ~17% of chained
+    // dispatch; unbounded sorted-insert is O(n) per event for bursty
+    // buckets. The bound gives each workload its cheap path.
+    constexpr std::size_t kNearShift = 8;
+    bool placed = false;
+    if (!b.unsorted) {
+      const std::size_t i = b.items.size() - 1;
+      const std::size_t stop =
+          (i - b.head > kNearShift) ? i - kNearShift : b.head;
+      std::size_t j = i;
+      while (j > stop) {
+        const Rec& p = b.items[j - 1];
+        if (p.when < when || (p.when == when && p.seq <= seq)) {
+          break;
+        }
+        --j;
+      }
+      if (j == b.head || b.items[j - 1].when < when ||
+          (b.items[j - 1].when == when && b.items[j - 1].seq <= seq)) {
+        std::rotate(b.items.begin() + static_cast<std::ptrdiff_t>(j),
+                    b.items.end() - 1, b.items.end());
+        placed = true;  // bucket still sorted; front cache stays valid
+      }
+    }
+    if (!placed) {
+      b.unsorted = true;
+      if (bi == cur_bucket_) {
+        cur_bucket_ = kNoBucket;  // front cache requires a sorted bucket
+      }
     }
   }
   if (cur_bucket_ != kNoBucket && bi != cur_bucket_) {
     const Bucket& cur = buckets_[cur_bucket_];
-    if (when < cur.items[cur.head].when) {
+    const Rec& front = cur.items[cur.head];
+    if (when < front.when || (when == front.when && seq < front.seq)) {
       cur_bucket_ = kNoBucket;  // the new event outruns the cached front
     }
   }
@@ -152,9 +196,9 @@ EventQueue::Popped EventQueue::try_pop(Tick bound) {
     if (heap_.empty() || r.when < heap_.top().when ||
         (r.when == heap_.top().when && r.seq < heap_.top().seq)) {
       if (r.when > bound) {
-        return Popped{kTickInvalid, {}};
+        return Popped{kTickInvalid, 0, {}};
       }
-      Popped p{r.when, std::move(r.fn)};
+      Popped p{r.when, r.seq, std::move(r.fn)};
       floor_ = r.when;
       ++b.head;
       --wheel_count_;
@@ -169,10 +213,11 @@ EventQueue::Popped EventQueue::try_pop(Tick bound) {
     }
   }
   if (heap_.empty() || heap_.top().when > bound) {
-    return Popped{kTickInvalid, {}};
+    return Popped{kTickInvalid, 0, {}};
   }
-  const Rec& h = heap_.top();
-  Popped p{h.when, std::move(h.fn)};
+  const HeapRec h = heap_.top();
+  Popped p{h.when, h.seq, std::move(far_slab_[h.idx])};
+  far_free_.push_back(h.idx);
   floor_ = p.when;
   heap_.pop();
   return p;

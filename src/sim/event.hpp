@@ -55,6 +55,23 @@ class EventQueue {
   /// no-events-in-the-past rule.
   void push(Tick when, Callback fn);
 
+  /// Reserve `n` consecutive sequence numbers and return the first. The
+  /// fast-path layer (DESIGN.md §12) reserves an operation's tie-break
+  /// keys up front — identically in fast and slow mode — so that events
+  /// later pushed with push_at_seq() occupy the same position in dispatch
+  /// order regardless of when the push itself happens. Reserved numbers
+  /// that end up unused are simply holes; only relative order matters.
+  std::uint64_t reserve_seqs(std::uint64_t n) {
+    const std::uint64_t base = next_seq_;
+    next_seq_ += n;
+    return base;
+  }
+
+  /// Schedule `fn` at `when` under a previously reserved sequence number
+  /// instead of a fresh one. The (when, seq) pair must be unique among
+  /// live events (a dead — revoked — event may share it; see MemBus).
+  void push_at_seq(Tick when, std::uint64_t seq, Callback fn);
+
   /// True when no events remain.
   [[nodiscard]] bool empty() const { return wheel_count_ == 0 && heap_.empty(); }
 
@@ -66,10 +83,13 @@ class EventQueue {
   [[nodiscard]] Tick next_time() const;
 
   /// Remove and return the earliest event. Precondition: !empty().
-  /// Returning {when, fn} together spares the caller a second traversal
-  /// (the old next_time() + pop() pair walked the heap top twice).
+  /// Returning {when, seq, fn} together spares the caller a second
+  /// traversal (the old next_time() + pop() pair walked the heap top
+  /// twice); seq is the dispatch tie-break key the fast-path revocation
+  /// protocol compares phase keys against.
   struct Popped {
     Tick when;
+    std::uint64_t seq;
     Callback fn;
   };
   Popped pop();
@@ -90,18 +110,30 @@ class EventQueue {
     }
   }
 
-  /// Total number of events ever scheduled (diagnostic).
+  /// Total number of sequence numbers ever issued: events scheduled plus
+  /// keys reserved via reserve_seqs(). Unlike the executed-event count,
+  /// this is identical between fast-path and slow-path runs (reservations
+  /// happen at the same program points in both), which is why the stats
+  /// dump reports it (DESIGN.md §12).
   [[nodiscard]] std::uint64_t total_scheduled() const { return next_seq_; }
 
  private:
   struct Rec {
     Tick when;
     std::uint64_t seq;
-    // Mutable so we can move the callback out of the priority queue's
-    // const top() reference without copying; ordering never inspects it.
-    mutable Callback fn;
+    Callback fn;
+  };
 
-    bool operator>(const Rec& o) const {
+  /// Far-heap entry: 24 bytes of ordering key plus a slot index into
+  /// far_slab_. The heap's sift operations move these instead of 80-byte
+  /// Recs — the callback itself moves exactly twice (in at push, out at
+  /// pop) however deep the heap gets.
+  struct HeapRec {
+    Tick when;
+    std::uint64_t seq;
+    std::uint32_t idx;
+
+    bool operator>(const HeapRec& o) const {
       return when != o.when ? when > o.when : seq > o.seq;
     }
   };
@@ -164,7 +196,11 @@ class EventQueue {
   std::size_t wheel_count_ = 0;
   Tick floor_ = 0;
 
-  std::priority_queue<Rec, std::vector<Rec>, std::greater<>> heap_;
+  std::priority_queue<HeapRec, std::vector<HeapRec>, std::greater<>> heap_;
+  /// Callback storage for heap entries, recycled through far_free_ so the
+  /// steady state allocates nothing (alloc_hook_test).
+  std::vector<Callback> far_slab_;
+  std::vector<std::uint32_t> far_free_;
   std::uint64_t next_seq_ = 0;
 };
 

@@ -11,6 +11,14 @@ void Kernel::schedule_abs(Tick when, EventQueue::Callback fn) {
   events_.push(when, std::move(fn));
 }
 
+void Kernel::schedule_at_seq(Tick when, std::uint64_t seq,
+                             EventQueue::Callback fn) {
+  if (when < now_) {
+    throw std::logic_error("Kernel::schedule_at_seq: time in the past");
+  }
+  events_.push_at_seq(when, seq, std::move(fn));
+}
+
 void Kernel::post(Tick when, std::uint32_t src, std::uint64_t seq,
                   EventQueue::Callback fn) {
   if (deferred_mailbox_) {
@@ -42,6 +50,7 @@ bool Kernel::dispatch_one(Tick bound) {
       return false;
     }
     now_ = ev.when;
+    current_seq_ = ev.seq;
     ev.fn();
   } else {
     const Tick qt = events_.empty() ? kTickInvalid : events_.next_time();
@@ -65,6 +74,7 @@ bool Kernel::dispatch_one(Tick bound) {
       } while (!mailbox_.empty() && mailbox_.top().when == next);
     }
     EventQueue::Popped ev = events_.pop();
+    current_seq_ = ev.seq;
     ev.fn();
   }
   ++executed_;
@@ -77,6 +87,7 @@ bool Kernel::dispatch_one(Tick bound) {
 
 Tick Kernel::run() {
   run_executed_ = 0;
+  run_bound_ = kTickInvalid;
   while (dispatch_one(kTickInvalid)) {
   }
   return now_;
@@ -84,6 +95,7 @@ Tick Kernel::run() {
 
 Tick Kernel::run_until(Tick t) {
   run_executed_ = 0;
+  run_bound_ = t;
   while (dispatch_one(t)) {
   }
   if (now_ < t) {

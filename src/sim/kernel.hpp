@@ -56,6 +56,38 @@ class Kernel {
   /// Schedule `fn` at an absolute time, which must be >= now().
   void schedule_abs(Tick when, EventQueue::Callback fn);
 
+  /// Reserve `n` consecutive dispatch tie-break keys (sequence numbers)
+  /// and return the first. See EventQueue::reserve_seqs and DESIGN.md §12:
+  /// fast and slow mode reserve at identical program points, which pins
+  /// dispatch order — and therefore stats and traces — across modes.
+  std::uint64_t reserve_seqs(std::uint64_t n) {
+    return events_.reserve_seqs(n);
+  }
+
+  /// Schedule `fn` at absolute time `when` under a reserved sequence
+  /// number. (when, seq) must be at or after the currently dispatching
+  /// event's key; `when` must be >= now().
+  void schedule_at_seq(Tick when, std::uint64_t seq, EventQueue::Callback fn);
+
+  /// Key of the event currently being dispatched (its tie-break sequence
+  /// number). Valid only while an event is executing; the fast-path
+  /// revocation protocol compares this against reserved phase keys to
+  /// decide which phases of a bypassed operation have already "happened".
+  [[nodiscard]] std::uint64_t current_seq() const { return current_seq_; }
+
+  /// True when nothing can dispatch in (now, until]: no queued event or
+  /// mailbox message in that window, and — in an epoch-bounded run — the
+  /// window does not extend past the epoch, so no cross-domain message
+  /// committed at the next barrier can land inside it either. Tenure
+  /// coalescing uses this to prove a whole burst is interference-free.
+  [[nodiscard]] bool quiet_until(Tick until) const {
+    const Tick nev = next_event_time();
+    if (nev != kTickInvalid && nev <= until) {
+      return false;
+    }
+    return run_bound_ == kTickInvalid || until <= run_bound_;
+  }
+
   /// Cross-domain mailbox: deliver `fn` at absolute time `when`, ordered by
   /// (when, src, seq) against every other posted message regardless of the
   /// order post() calls arrive in. `seq` must be monotone per `src` (the
@@ -100,6 +132,13 @@ class Kernel {
   }
 
   [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
+
+  /// Total sequence numbers issued (events scheduled + keys reserved).
+  /// Mode-invariant across fast/slow path runs, unlike events_executed()
+  /// — see EventQueue::total_scheduled().
+  [[nodiscard]] std::uint64_t events_scheduled() const {
+    return events_.total_scheduled();
+  }
 
   /// Hard cap on events per run()/run_until() call, as a runaway guard for
   /// tests. 0 disables the cap. The budget is per call: each run() or
@@ -151,6 +190,8 @@ class Kernel {
   std::mutex staged_mu_;
   bool deferred_mailbox_ = false;
   Tick now_ = 0;
+  std::uint64_t current_seq_ = 0;
+  Tick run_bound_ = kTickInvalid;
   std::uint64_t executed_ = 0;
   std::uint64_t run_executed_ = 0;
   std::uint64_t event_limit_ = 0;

@@ -85,6 +85,14 @@ std::uint64_t Machine::events_executed() const {
   return n;
 }
 
+std::uint64_t Machine::events_scheduled() const {
+  std::uint64_t n = 0;
+  for (const auto& d : domains_) {
+    n += d->events_scheduled();
+  }
+  return n;
+}
+
 sim::Tick Machine::lookahead() const {
   return params_.net == NetKind::kIdeal ? params_.ideal_latency
                                         : sim::kMicrosecond;

@@ -72,6 +72,12 @@ class Machine {
   /// Events executed across all domains (summed in domain order).
   [[nodiscard]] std::uint64_t events_executed() const;
 
+  /// Sequence numbers issued across all domains. Unlike events_executed(),
+  /// this is invariant across fast-path/slow-path runs (the fast paths
+  /// reserve the keys of the events they bypass), so it is the count the
+  /// stats dump reports.
+  [[nodiscard]] std::uint64_t events_scheduled() const;
+
   /// Epoch length: the minimum latency of any domain-crossing path. For
   /// the ideal network this is its fixed latency; the (never-partitioned)
   /// fat tree uses a 1 us scheduling quantum.

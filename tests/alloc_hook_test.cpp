@@ -19,6 +19,8 @@
 #include "net/network.hpp"
 #include "sim/coro.hpp"
 #include "sim/kernel.hpp"
+#include "tests/test_util.hpp"
+#include "xfer/approaches.hpp"
 
 namespace {
 
@@ -161,6 +163,46 @@ TEST(AllocHook, IdealNetworkSteadyStateIsAllocationFree) {
   EXPECT_EQ(allocs() - before, 0u)
       << "an IdealNetwork inject->deliver round allocated";
   EXPECT_EQ(received, 1'300u);
+}
+
+// --- Functional-model steady state (fig4-style msg workload) --------------
+
+// The full machine driving the Figure-4 messaging transfer (approach 1:
+// aP copies through DRAM, NIU basic messages carry the data) — the steady
+// state the fast-path layer (DESIGN.md §12) optimizes. Unlike the bare
+// kernel paths above, the functional model is not yet allocation-FREE:
+// after warmup, the known remaining allocators are (a) one payload-vector
+// allocation per received basic message (msg::Message::data), (b) a
+// std::deque<net::Packet> block node every handful of packets in the NIU
+// tx and router output queues, and (c) a slowly decaying trickle of
+// event-wheel buckets reaching new occupancy maxima. All are per-MESSAGE
+// or rarer — measured ~500 per 16 KiB transfer (~190 basic messages), and
+// this workload dispatches ~30k events per transfer. The bound below
+// therefore still fails loudly on any per-event or per-packet-hop
+// regression (which would add >= 30k allocations per transfer) while
+// pinning the per-message costs so they cannot silently multiply.
+TEST(AllocHook, Fig4MsgWorkloadSteadyStateAllocationsBounded) {
+  auto mp = test::small_machine_params(2);
+  sys::Machine machine(mp);
+  xfer::BlockTransferHarness harness(machine);
+  xfer::TransferSpec spec;
+  spec.len = 16384;
+
+  // Warmup: reach steady pool/bucket occupancy (the bucket-growth trickle
+  // decays over the first several transfers).
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(harness.run(1, spec).ok);
+  }
+
+  const std::uint64_t before = allocs();
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(harness.run(1, spec).ok);
+  }
+  // Measured: ~1550 over the 3-transfer window (~515 per transfer, ~2.7
+  // per delivered message). The ceiling leaves ~35% noise headroom.
+  EXPECT_LT(allocs() - before, 2100u)
+      << "a warm fig4-style messaging transfer allocated far beyond the "
+         "known per-message sources (payload vectors, packet-deque nodes)";
 }
 
 }  // namespace
