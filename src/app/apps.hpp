@@ -1,0 +1,67 @@
+// The macro-benchmark applications shipped with the app runtime: real
+// parallel kernels written against app::Comm, transport-agnostic by
+// construction. Each make_* returns a World::Program; run it with
+// World::launch() and read the aggregate result (written by rank 0's
+// node only, so it is safe to read after completion under any threads=
+// value) from the AppResult the caller owns.
+#pragma once
+
+#include "app/runtime.hpp"
+
+namespace sv::app {
+
+/// Aggregate outcome of one application run. `checksum` is an
+/// application-defined reduction over all ranks (bit-identical across
+/// thread counts for a given transport); `ops` counts application-level
+/// operations (stencil iterations, allreduce calls, KV requests).
+struct AppResult {
+  double checksum = 0.0;
+  std::uint64_t ops = 0;
+  /// Tolerance failures against the host-computed reference (0 = clean).
+  std::uint64_t errors = 0;
+};
+
+/// Jacobi stencil with halo exchange: an ny-row by nx-column grid,
+/// row-block distributed. nx == 1 degenerates to the 1-D 3-point
+/// stencil; nx > 1 is the 2-D 5-point one. Each iteration exchanges
+/// boundary rows with the neighbouring ranks (nonblocking send/recv
+/// both ways, then wait), computes the Jacobi update host-side and
+/// charges the per-point compute cost. Ranks owning no rows (ny <
+/// nranks) only join the final reduction.
+struct StencilParams {
+  std::size_t nx = 16;           // columns per row
+  std::size_t ny = 16;           // rows, split across ranks
+  std::size_t iters = 4;
+  std::uint64_t point_cycles = 5;  // emulated cost per grid point update
+};
+World::Program make_stencil(StencilParams p, AppResult* out);
+
+/// Ring-allreduce sweep: for each vector size from min_elems to
+/// max_elems (doubling), `iters` allreduces of freshly initialised
+/// data, each validated against the host-computed reference with a
+/// relative tolerance (ring summation order differs from the reference
+/// order).
+struct AllreduceParams {
+  std::size_t min_elems = 4;
+  std::size_t max_elems = 64;
+  std::size_t iters = 2;
+};
+World::Program make_allreduce_sweep(AllreduceParams p, AppResult* out);
+
+/// Key-value request/reply service: the first `servers` ranks serve a
+/// key space partitioned by key % servers; the remaining ranks are
+/// clients issuing `requests` seeded random put/get operations each and
+/// checksumming every reply. Clients announce completion to every
+/// server; servers exit after hearing from all clients; everyone joins
+/// a final reduction of per-rank checksums and counters.
+struct KvParams {
+  std::size_t servers = 1;
+  std::size_t requests = 64;      // per client
+  std::size_t keys = 128;         // key space size
+  std::size_t value_bytes = 32;
+  std::uint64_t seed = 1;
+  std::uint64_t op_cycles = 300;  // emulated server cost per request
+};
+World::Program make_kv(KvParams p, AppResult* out);
+
+}  // namespace sv::app

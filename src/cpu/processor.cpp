@@ -110,15 +110,21 @@ bool Processor::try_batch(mem::Addr a, std::byte* rdata,
   if (!bus_.fast_quiescent()) {
     return false;
   }
+  // Another program sharing this processor may already hold the batch
+  // record (a live batch keeps the bus quiescent, so fast_quiescent()
+  // cannot see it). Concurrent cached accesses take the slow path — whose
+  // cache entry point revokes the live batch exactly like any other
+  // interleaving agent would.
+  if (batch_.live) {
+    return false;
+  }
   void* line = cache_->batch_begin(a, size, wdata != nullptr);
   if (line == nullptr) {
     return false;
   }
   Batch& b = batch_;
-  assert(!b.live && "one program per batch; the issuer is suspended");
   b.live = true;
   ++b.gen;
-  b.wake = 0;
   b.s0 = s0;
   b.t0 = t0;
   b.t_work = t0 + params_.clock.to_ticks(params_.op_overhead);
@@ -148,7 +154,7 @@ void Processor::batch_complete(std::uint64_t gen) {
   busy_.add_busy(b.t_end - b.t_work);
   quantum_ticks_ += b.t_end - b.t0;
   b.live = false;
-  b.wake = 0;
+  *b.outcome = 0;
   bus_.note_device_fast_state(-1);
   // Resume last: the continuation may issue a new batch that re-uses the
   // record.
@@ -167,21 +173,24 @@ void Processor::batch_revoke() {
     // the eagerly-taken cache lock (nothing can be queued on it: it was
     // free at engagement and every acquirer since revokes first) and wake
     // the program at the work key — exactly where the slow path's first
-    // event would have dispatched.
+    // event would have dispatched. Capture the handle and outcome slot
+    // now: by the time the wake fires, another program may have engaged a
+    // new batch and overwritten the shared record.
     ++b.gen;
     b.live = false;
-    b.wake = 1;
     cache_->batch_abort();
     bus_.note_device_fast_state(-1);
-    kernel_.schedule_at_seq(b.t_work, b.s0, [this] { batch_wake(); });
+    kernel_.schedule_at_seq(b.t_work, b.s0,
+                            [h = b.waiter, out = b.outcome] {
+                              *out = 1;
+                              h.resume();
+                            });
   }
   // At or after the work key this is a no-op: the slow path would hold the
   // cache lock here too, the completion event coincides with the slow
   // chunk-hit key, and the commit is blind — every observable already
   // matches the slow schedule, so the batch can safely run to completion.
 }
-
-void Processor::batch_wake() { batch_.waiter.resume(); }
 
 sim::Co<void> Processor::load_uncached(mem::Addr a,
                                        std::span<std::byte> out) {

@@ -114,13 +114,17 @@ class Processor : public sim::SimObject, public mem::BusDevice {
  private:
   class BusyScope;
 
-  /// In-flight batched quantum. At most one can exist per processor: the
-  /// issuing program is suspended in BatchAwait until it completes or is
-  /// revoked.
+  /// In-flight batched quantum. At most one can be live per processor —
+  /// try_batch refuses to engage while one is — but programs sharing the
+  /// processor (several coroutines may issue cached accesses concurrently,
+  /// e.g. the app runtime's ranks plus its shm dispatcher) mean a revoked
+  /// waiter can still be pending its wake event while a *new* batch
+  /// engages and reuses this record. Per-await outcome state therefore
+  /// lives in the awaiter (stable inside the suspended coroutine frame),
+  /// never in this shared record.
   struct Batch {
     bool live = false;
     std::uint64_t gen = 0;   // liveness token for the completion event
-    int wake = 0;            // 0 completed; 1 revoked, resume at the work key
     std::uint64_t s0 = 0;    // work-phase key; completion key is s0 + 1
     sim::Tick t0 = 0;        // operation entry time
     sim::Tick t_work = 0;    // end of the issue-overhead charge
@@ -131,15 +135,22 @@ class Processor : public sim::SimObject, public mem::BusDevice {
     const std::byte* wdata = nullptr;
     std::size_t size = 0;
     std::coroutine_handle<> waiter;
+    int* outcome = nullptr;  // awaiter-owned; 0 completed, 1 revoked
   };
 
   struct BatchAwait {
     Processor& cpu;
+    /// 0 = batch completed in one event; 1 = revoked, resume fell back to
+    /// the slow schedule's work key. Written through Batch::outcome before
+    /// this awaiter resumes; owned here so a later engagement overwriting
+    /// the shared Batch record cannot alias it.
+    mutable int result = 0;
     bool await_ready() const noexcept { return false; }
     void await_suspend(std::coroutine_handle<> h) const {
       cpu.batch_.waiter = h;
+      cpu.batch_.outcome = &result;
     }
-    int await_resume() const noexcept { return cpu.batch_.wake; }
+    int await_resume() const noexcept { return result; }
   };
 
   /// Check quantum-batch eligibility for a cached access and, on success,
@@ -149,7 +160,6 @@ class Processor : public sim::SimObject, public mem::BusDevice {
                  std::size_t size, std::uint64_t s0, sim::Tick t0);
   void batch_complete(std::uint64_t gen);
   void batch_revoke();
-  void batch_wake();
 
   /// Record a busy span mirroring a busy_.add_busy charge, so the trace
   /// lane's occupancy equals busy()/now exactly.

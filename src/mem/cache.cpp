@@ -165,8 +165,11 @@ sim::Co<void> SnoopingCache::read(Addr addr, std::span<std::byte> out,
 
     Line* line = find_line(a);
     if (line != nullptr) {
-      stats_.read_hits.inc();
       co_await sim::seq_delay(kernel_, now() + hit_ticks(), seq);
+      // Counted at the chunk-completion key, not the probe: the batched
+      // fast path commits (and counts) at exactly this (tick, seq), so a
+      // run that stops mid-access dumps the same value in both modes.
+      stats_.read_hits.inc();
     } else {
       // Miss: the chunk's reserved key goes unused (the fill's bus phases
       // reserve their own) — an identical hole in every mode.
@@ -200,8 +203,8 @@ sim::Co<void> SnoopingCache::write(Addr addr, std::span<const std::byte> in,
     if (line != nullptr &&
         (line->state == MesiState::kModified ||
          line->state == MesiState::kExclusive)) {
-      stats_.write_hits.inc();
       co_await sim::seq_delay(kernel_, now() + hit_ticks(), seq);
+      stats_.write_hits.inc();  // completion key, matching batch_commit
     } else if (line != nullptr && line->state == MesiState::kShared) {
       // Upgrade: broadcast a kill so other holders drop their copies.
       stats_.write_hits.inc();

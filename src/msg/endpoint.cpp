@@ -20,7 +20,12 @@ mem::Addr asram_addr(std::uint32_t offset) {
 }  // namespace
 
 Endpoint::Endpoint(cpu::Processor& ap, Config config)
-    : ap_(ap), config_(config) {}
+    : ap_(ap),
+      config_(config),
+      tx_gate_(ap.kernel()),
+      rx_gate_(ap.kernel()),
+      extx_gate_(ap.kernel()),
+      raw_gate_(ap.kernel()) {}
 
 sim::Co<void> Endpoint::wait_tx_space() {
   const auto& q = config_.tx;
@@ -37,6 +42,7 @@ sim::Co<void> Endpoint::send(std::uint16_t vdest,
   if (data.size() > niu::kBasicMaxData) {
     throw std::invalid_argument("Endpoint::send: message too large");
   }
+  co_await tx_gate_.enter();
   co_await wait_tx_space();
 
   const auto& q = config_.tx;
@@ -64,6 +70,7 @@ sim::Co<void> Endpoint::send(std::uint16_t vdest,
       kNiuBase + kPtrWindowOffset +
           niu::ptr_window_addr(niu::PtrKind::kTxProducer, q.hwq),
       tx_producer_, /*cached=*/false);
+  tx_gate_.leave();
 }
 
 sim::Co<void> Endpoint::send_tagon(std::uint16_t vdest,
@@ -74,6 +81,7 @@ sim::Co<void> Endpoint::send_tagon(std::uint16_t vdest,
   if (data.size() + tagon_bytes > net::kMaxPayloadBytes) {
     throw std::invalid_argument("Endpoint::send_tagon: payload too large");
   }
+  co_await tx_gate_.enter();
   co_await wait_tx_space();
 
   const auto& q = config_.tx;
@@ -102,6 +110,7 @@ sim::Co<void> Endpoint::send_tagon(std::uint16_t vdest,
       kNiuBase + kPtrWindowOffset +
           niu::ptr_window_addr(niu::PtrKind::kTxProducer, q.hwq),
       tx_producer_, /*cached=*/false);
+  tx_gate_.leave();
 }
 
 sim::Co<void> Endpoint::send_raw(sim::NodeId dest, net::QueueId queue,
@@ -114,6 +123,7 @@ sim::Co<void> Endpoint::send_raw(sim::NodeId dest, net::QueueId queue,
   if (data.size() > niu::kBasicMaxData) {
     throw std::invalid_argument("Endpoint::send_raw: message too large");
   }
+  co_await raw_gate_.enter();
   while (static_cast<std::uint16_t>(raw_producer_ - raw_consumer_seen_) >=
          q.slots) {
     raw_consumer_seen_ = static_cast<std::uint16_t>(
@@ -145,6 +155,7 @@ sim::Co<void> Endpoint::send_raw(sim::NodeId dest, net::QueueId queue,
       kNiuBase + kPtrWindowOffset +
           niu::ptr_window_addr(niu::PtrKind::kTxProducer, q.hwq),
       raw_producer_, /*cached=*/false);
+  raw_gate_.leave();
 }
 
 sim::Co<void> Endpoint::stage(std::uint32_t sram_offset,
@@ -155,11 +166,13 @@ sim::Co<void> Endpoint::stage(std::uint32_t sram_offset,
 
 sim::Co<std::optional<Message>> Endpoint::try_recv() {
   const auto& q = config_.rx;
+  co_await rx_gate_.enter();
   if (rx_consumer_ == rx_producer_seen_) {
     rx_producer_seen_ = static_cast<std::uint16_t>(
         co_await ap_.load_scalar<std::uint32_t>(
             asram_addr(niu::rx_producer_shadow(q.hwq)), /*cached=*/false));
     if (rx_consumer_ == rx_producer_seen_) {
+      rx_gate_.leave();
       co_return std::nullopt;
     }
   }
@@ -193,6 +206,7 @@ sim::Co<std::optional<Message>> Endpoint::try_recv() {
       kNiuBase + kPtrWindowOffset +
           niu::ptr_window_addr(niu::PtrKind::kRxConsumer, q.hwq),
       rx_consumer_, /*cached=*/false);
+  rx_gate_.leave();
   co_return msg;
 }
 
@@ -224,6 +238,7 @@ sim::Co<Message> Endpoint::recv_interrupt(sim::Cycles isr_cycles) {
 sim::Co<void> Endpoint::send_express(std::uint8_t vdest, std::uint8_t extra,
                                      std::uint32_t word) {
   const auto& q = config_.express_tx;
+  co_await extx_gate_.enter();
   while (static_cast<std::uint16_t>(extx_producer_ - extx_consumer_seen_) >=
          q.slots) {
     extx_consumer_seen_ = static_cast<std::uint16_t>(
@@ -235,6 +250,7 @@ sim::Co<void> Endpoint::send_express(std::uint8_t vdest, std::uint8_t extra,
       kNiuBase + kExpressTxWindowOffset +
           niu::express_tx_addr(q.hwq, vdest, extra),
       word, /*cached=*/false);
+  extx_gate_.leave();
 }
 
 sim::Co<std::optional<ExpressMessage>> Endpoint::try_recv_express() {

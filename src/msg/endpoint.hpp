@@ -77,6 +77,24 @@ struct ExpressMessage {
   std::uint32_t word = 0;     // the 4 bytes carried on the data bus
 };
 
+/// Serializes one hardware queue's multi-step library protocol. Each send
+/// (or receive) is several bus operations with suspension points between
+/// them; two coroutines driving the same queue concurrently used to
+/// interleave those steps and compose into the same slot. The gate makes
+/// late arrivals queue behind the op in flight instead — back-to-back
+/// nonblocking sends from the app runtime are the first real client.
+/// Uncontended acquire/release never suspends and schedules nothing, so a
+/// single-user endpoint behaves exactly as before (bit-identical traces).
+class QueueGate {
+ public:
+  explicit QueueGate(sim::Kernel& k) : sem_(k, 1) {}
+  [[nodiscard]] auto enter() { return sem_.acquire(); }
+  void leave() { sem_.release(); }
+
+ private:
+  sim::Semaphore sem_;
+};
+
 class Endpoint {
  public:
   struct Config {
@@ -145,6 +163,10 @@ class Endpoint {
 
   cpu::Processor& ap_;
   Config config_;
+  QueueGate tx_gate_;    // basic tx (send / send_tagon)
+  QueueGate rx_gate_;    // basic rx (try_recv / recv)
+  QueueGate extx_gate_;  // express tx
+  QueueGate raw_gate_;   // raw tx
   std::uint16_t tx_producer_ = 0;
   std::uint16_t tx_consumer_seen_ = 0;
   std::uint16_t rx_consumer_ = 0;

@@ -432,6 +432,42 @@ class Channel {
 };
 
 // ---------------------------------------------------------------------------
+// WaitGroup: await completion of a dynamic set of detached coroutines.
+// ---------------------------------------------------------------------------
+
+/// Counter of in-flight detached tasks with an awaitable join. add() before
+/// spawning each task, done() as its last act, wait() to suspend until the
+/// count returns to zero. Unlike OneShot it is reusable: the count may grow
+/// again after a successful wait. The app runtime uses one per process to
+/// guarantee every nonblocking operation has completed before the process
+/// reports done.
+class WaitGroup {
+ public:
+  explicit WaitGroup(Kernel& k) : sig_(k) {}
+
+  void add(std::size_t n = 1) { count_ += n; }
+
+  void done() {
+    assert(count_ > 0 && "WaitGroup::done without matching add");
+    if (--count_ == 0) {
+      sig_.pulse();
+    }
+  }
+
+  [[nodiscard]] std::size_t pending() const { return count_; }
+
+  Co<void> wait() {
+    while (count_ > 0) {
+      co_await sig_;
+    }
+  }
+
+ private:
+  Signal sig_;
+  std::size_t count_ = 0;
+};
+
+// ---------------------------------------------------------------------------
 // Semaphore.
 // ---------------------------------------------------------------------------
 

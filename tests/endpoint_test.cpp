@@ -76,6 +76,57 @@ TEST_F(EndpointTest, ManyMessagesArriveInOrder) {
   EXPECT_TRUE(in_order);
 }
 
+TEST_F(EndpointTest, ConcurrentSendersShareOneEndpoint) {
+  // Regression: Endpoint's send/recv are multi-step queue protocols
+  // (compose, flush, producer bump, shadow poll). Two coroutines driving
+  // the same endpoint concurrently used to interleave those steps and
+  // clobber each other's slots; the per-queue gates must serialize them.
+  // Back-to-back nonblocking sends from one node are exactly this shape.
+  const auto map = machine.addr_map();
+  constexpr int kSenders = 4;
+  constexpr int kEach = 8;
+  int sent = 0;
+  int received = 0;
+  std::vector<int> got(kSenders * kEach, 0);
+
+  for (int s = 0; s < kSenders; ++s) {
+    machine.node(0).ap().run(
+        [](msg::Endpoint* ep, std::uint16_t vdest, int s_,
+           int* done) -> sim::Co<void> {
+          for (std::uint32_t i = 0; i < kEach; ++i) {
+            const std::uint32_t id = s_ * kEach + i;
+            auto payload = test::pattern_bytes(40, static_cast<std::uint8_t>(id));
+            std::memcpy(payload.data(), &id, 4);
+            co_await ep->send(vdest, payload);
+          }
+          ++*done;
+        }(eps[0].get(), map.user0(1), s, &sent));
+  }
+  machine.node(1).ap().run(
+      [](msg::Endpoint* ep, std::vector<int>* g, int* n) -> sim::Co<void> {
+        for (int i = 0; i < kSenders * kEach; ++i) {
+          msg::Message m = co_await ep->recv();
+          std::uint32_t id = 0;
+          std::memcpy(&id, m.data.data(), 4);
+          EXPECT_LT(id, g->size());
+          if (id >= g->size()) {
+            continue;
+          }
+          auto want = test::pattern_bytes(40, static_cast<std::uint8_t>(id));
+          std::memcpy(want.data(), &id, 4);
+          EXPECT_EQ(m.data, want) << "payload " << id << " corrupted";
+          ++(*g)[id];
+          ++*n;
+        }
+      }(eps[1].get(), &got, &received));
+
+  drive_until([&] { return received == kSenders * kEach; });
+  EXPECT_EQ(sent, kSenders);
+  for (int i = 0; i < kSenders * kEach; ++i) {
+    EXPECT_EQ(got[i], 1) << "message " << i;
+  }
+}
+
 TEST_F(EndpointTest, ExpressSingleStoreRoundTrip) {
   const auto map = machine.addr_map();
   bool got = false;

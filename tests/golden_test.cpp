@@ -18,6 +18,7 @@
 
 #include "sim/crc32.hpp"
 #include "sys/stats_dump.hpp"
+#include "tests/app_util.hpp"
 #include "tests/test_util.hpp"
 #include "xfer/approaches.hpp"
 
@@ -140,6 +141,42 @@ TEST(GoldenStats, ExtReliableUnderLoss) {
   const auto res = test::run_machine_and_dump_stats(spec);
   ASSERT_TRUE(res.completed);
   check_golden("ext_reliable_4node", res.stats_json);
+}
+
+// --- Application runtime (Ext-P): one entry per shipped app, each over
+// the transport that stresses it best. The stats JSON includes the app.*
+// transport counters, so both the machine and the runtime are pinned.
+
+TEST(GoldenStats, ExtAppStencilMsg) {
+  test::AppRunSpec spec;
+  spec.app = test::AppKind::kStencil;
+  spec.transport = app::TransportKind::kMsg;
+  const auto res = test::run_app_and_dump_stats(spec);
+  ASSERT_TRUE(res.completed);
+  ASSERT_EQ(res.app.errors, 0u);
+  check_golden("ext_app_stencil_msg", res.stats_json);
+}
+
+TEST(GoldenStats, ExtAppAllreduceShm) {
+  test::AppRunSpec spec;
+  spec.app = test::AppKind::kAllreduce;
+  spec.transport = app::TransportKind::kShm;
+  spec.allreduce.max_elems = 32;
+  const auto res = test::run_app_and_dump_stats(spec);
+  ASSERT_TRUE(res.completed);
+  ASSERT_EQ(res.app.errors, 0u);
+  check_golden("ext_app_allreduce_shm", res.stats_json);
+}
+
+TEST(GoldenStats, ExtAppKvReliable) {
+  test::AppRunSpec spec;
+  spec.app = test::AppKind::kKv;
+  spec.transport = app::TransportKind::kReliable;
+  spec.kv.requests = 16;
+  const auto res = test::run_app_and_dump_stats(spec);
+  ASSERT_TRUE(res.completed);
+  ASSERT_EQ(res.app.errors, 0u);
+  check_golden("ext_app_kv_reliable", res.stats_json);
 }
 
 }  // namespace

@@ -18,6 +18,16 @@
 //   reliable  ring traffic over ReliableChannel (nodes, count, bytes,
 //             window, timeout_us, give_up)
 //
+// Application runtime workloads (src/app/): real parallel programs run
+// through the SMPI-style World/Comm API over a selectable transport.
+// App keys: ranks=N (0 = one per node) transport=msg|shm|reliable
+//   app.shm=numa|scoma; the reliable transport honors window/timeout_us/
+//   give_up like the `reliable` workload.
+//   app.stencil    Jacobi halo exchange    (nx, ny, iters, point_cycles)
+//   app.allreduce  ring-allreduce sweep    (min_elems, max_elems, iters)
+//   app.kv         key-value request/reply (servers, requests, keys,
+//                  value_bytes, seed, op_cycles)
+//
 // Common keys: nodes=N net=fattree|ideal radix=K stats=0|1
 //   stats_format=text|json deadline_ms=N trace=FILE trace_buf=N
 //
@@ -32,13 +42,15 @@
 //   fault.link_down_rate=P fault.router_stall_rate=P fault.starve_rate=P
 //   fault.rx_overflow_rate=P fault.seed=N (see fault::Plan::from_config).
 //   Unreliable workloads will typically time out or hang under drops; the
-//   `reliable` workload recovers.
+//   `reliable` workload and reliable-transport app.* workloads recover.
 #include <cstdio>
 #include <cstring>
+#include <functional>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "app/apps.hpp"
 #include "msg/dma.hpp"
 #include "msg/reliable.hpp"
 #include "shm/numa_region.hpp"
@@ -69,23 +81,84 @@ sys::Machine::Params machine_params(const sim::Config& cfg) {
   return p;
 }
 
-sim::Tick deadline(const sim::Config& cfg, sys::Machine& m) {
-  return m.now() + cfg.get_u64("deadline_ms", 2000) * sim::kMillisecond;
-}
+/// The workload-driver boilerplate every run_* repeats, factored out: the
+/// per-node completion flags (one per node so each is only ever written by
+/// the domain that owns that node — the pattern that keeps every workload
+/// valid under threads=N), the run-until-deadline loop with its timeout
+/// diagnostic, elapsed-simulated-time reporting, and the stats dump —
+/// which lives here so workloads with extra counters (the app runtime)
+/// can append them while the owning objects are still alive.
+class Harness {
+ public:
+  Harness(sys::Machine& machine, const sim::Config& cfg)
+      : machine_(machine), cfg_(cfg), done_(machine.size(), 0) {}
 
-/// True once every per-node completion flag is set. The flags live one per
-/// node so each is only ever written by the domain that owns that node —
-/// the pattern that keeps every workload valid under threads=N.
-bool all_set(const std::vector<std::uint8_t>& done) {
-  for (const auto f : done) {
-    if (f == 0) {
+  [[nodiscard]] sys::Machine& machine() { return machine_; }
+  [[nodiscard]] std::uint8_t* done_flag(sim::NodeId n) { return &done_[n]; }
+
+  /// Drive the machine until every per-node done flag is set.
+  bool drive() {
+    return drive([this] {
+      for (const auto f : done_) {
+        if (f == 0) {
+          return false;
+        }
+      }
+      return true;
+    });
+  }
+
+  /// Drive the machine until `ready`; on deadline expiry prints the
+  /// timeout diagnostic and returns false.
+  bool drive(const std::function<bool()>& ready) {
+    t0_ = machine_.now();
+    const sim::Tick deadline =
+        machine_.now() +
+        cfg_.get_u64("deadline_ms", 2000) * sim::kMillisecond;
+    if (!sys::run_until(machine_, ready, deadline)) {
+      std::fprintf(stderr, "svsim: timed out\n");
       return false;
     }
+    return true;
   }
-  return true;
-}
 
-int run_msg(sys::Machine& machine, const sim::Config& cfg, bool express) {
+  /// Simulated microseconds between the last drive() start and now.
+  [[nodiscard]] double elapsed_us() const {
+    return static_cast<double>(machine_.now() - t0_) / 1e6;
+  }
+
+  /// Honor stats=0|1 / stats_format=text|json, letting the caller append
+  /// extra counters to the registry first. Idempotent: the first call
+  /// (typically from a workload that has extra counters to add) wins and
+  /// the fallback call in main() becomes a no-op.
+  void dump_stats(
+      const std::function<void(sim::StatRegistry&)>& extra = nullptr) {
+    if (stats_dumped_ || !cfg_.get_bool("stats", false)) {
+      return;
+    }
+    stats_dumped_ = true;
+    auto reg = sys::collect_stats(machine_);
+    if (extra) {
+      extra(reg);
+    }
+    if (cfg_.get_string("stats_format", "text") == "json") {
+      reg.dump_json(std::cout);
+    } else {
+      std::printf("\n--- machine statistics ---\n");
+      reg.dump(std::cout);
+    }
+  }
+
+ private:
+  sys::Machine& machine_;
+  const sim::Config& cfg_;
+  std::vector<std::uint8_t> done_;
+  sim::Tick t0_ = 0;
+  bool stats_dumped_ = false;
+};
+
+int run_msg(Harness& h, const sim::Config& cfg, bool express) {
+  sys::Machine& machine = h.machine();
   const auto count = cfg.get_u64("count", 100);
   const auto bytes = cfg.get_u64("bytes", 32);
   const auto map = machine.addr_map();
@@ -96,7 +169,6 @@ int run_msg(sys::Machine& machine, const sim::Config& cfg, bool express) {
         machine.node(n).ap(), machine.node(n).endpoint_config()));
   }
 
-  std::vector<std::uint8_t> done(machine.size(), 0);
   for (sim::NodeId n = 0; n < machine.size(); ++n) {
     machine.node(n).ap().run(
         [](msg::Endpoint* ep, msg::AddressMap map, sim::NodeId self,
@@ -124,15 +196,12 @@ int run_msg(sys::Machine& machine, const sim::Config& cfg, bool express) {
           }
           *d = 1;
         }(eps[n].get(), map, n, machine.size(), count, bytes, express,
-          &done[n]));
+          h.done_flag(n)));
   }
-  const sim::Tick t0 = machine.now();
-  if (!sys::run_until(machine, [&] { return all_set(done); },
-                      deadline(cfg, machine))) {
-    std::fprintf(stderr, "svsim: timed out\n");
+  if (!h.drive()) {
     return 1;
   }
-  const double us = static_cast<double>(machine.now() - t0) / 1e6;
+  const double us = h.elapsed_us();
   const double total_bytes =
       static_cast<double>(machine.size() * count * (express ? 5 : bytes));
   std::printf("%s all-to-all: %zu nodes x %llu msgs in %.1f us "
@@ -180,7 +249,8 @@ int run_xfer(sys::Machine& machine, const sim::Config& cfg) {
   return res.ok ? 0 : 1;
 }
 
-int run_dma(sys::Machine& machine, const sim::Config& cfg) {
+int run_dma(Harness& h, const sim::Config& cfg) {
+  sys::Machine& machine = h.machine();
   const auto bytes = static_cast<std::uint32_t>(cfg.get_u64("bytes", 65536));
   auto ep0 = machine.node(0).make_endpoint();
   auto ep1 = machine.node(1).make_endpoint();
@@ -196,30 +266,32 @@ int run_dma(sys::Machine& machine, const sim::Config& cfg) {
         (void)co_await ep->recv();
         *d = true;
       }(&ep1, &got));
-  const sim::Tick t0 = machine.now();
-  if (!sys::run_until(machine, [&] { return got; },
-                      deadline(cfg, machine))) {
-    std::fprintf(stderr, "svsim: timed out\n");
+  if (!h.drive([&] { return got; })) {
     return 1;
   }
-  const double us = static_cast<double>(machine.now() - t0) / 1e6;
+  const double us = h.elapsed_us();
   std::printf("dma: %u bytes in %.1f us = %.1f MB/s\n", bytes, us,
               static_cast<double>(bytes) / us);
   return 0;
 }
 
-int run_reliable(sys::Machine& machine, const sim::Config& cfg) {
-  const auto count = cfg.get_u64("count", 100);
-  const auto bytes = std::min<std::uint64_t>(
-      cfg.get_u64("bytes", 64), msg::ReliableChannel::kMaxPayload);
-  const auto map = machine.addr_map();
-
+msg::ReliableChannel::Params reliable_params(const sim::Config& cfg) {
   msg::ReliableChannel::Params cp;
   cp.window = cfg.get_u64("window", 16);
   cp.retransmit.base_timeout =
       cfg.get_u64("timeout_us", 50) * sim::kMicrosecond;
   cp.retransmit.give_up_after =
       static_cast<unsigned>(cfg.get_u64("give_up", 8));
+  return cp;
+}
+
+int run_reliable(Harness& h, const sim::Config& cfg) {
+  sys::Machine& machine = h.machine();
+  const auto count = cfg.get_u64("count", 100);
+  const auto bytes = std::min<std::uint64_t>(
+      cfg.get_u64("bytes", 64), msg::ReliableChannel::kMaxPayload);
+  const auto map = machine.addr_map();
+  const auto cp = reliable_params(cfg);
 
   std::vector<std::unique_ptr<msg::Endpoint>> eps;
   std::vector<std::unique_ptr<msg::ReliableChannel>> chans;
@@ -237,7 +309,6 @@ int run_reliable(sys::Machine& machine, const sim::Config& cfg) {
 
   // Ring traffic: every node streams `count` payloads to its right
   // neighbour and consumes `count` from its left.
-  std::vector<std::uint8_t> done(machine.size(), 0);
   for (sim::NodeId n = 0; n < machine.size(); ++n) {
     machine.node(n).ap().run(
         [](msg::ReliableChannel* ch, sim::NodeId self, std::size_t nodes,
@@ -257,16 +328,13 @@ int run_reliable(sys::Machine& machine, const sim::Config& cfg) {
             (void)co_await ch->recv(left);
           }
           *d = 1;
-        }(chans[n].get(), n, machine.size(), count, bytes, &done[n]));
+        }(chans[n].get(), n, machine.size(), count, bytes, h.done_flag(n)));
   }
 
-  const sim::Tick t0 = machine.now();
-  if (!sys::run_until(machine, [&] { return all_set(done); },
-                      deadline(cfg, machine))) {
-    std::fprintf(stderr, "svsim: timed out\n");
+  if (!h.drive()) {
     return 1;
   }
-  const double us = static_cast<double>(machine.now() - t0) / 1e6;
+  const double us = h.elapsed_us();
   std::uint64_t retx = 0;
   std::uint64_t corrupt = 0;
   for (auto& ch : chans) {
@@ -288,7 +356,8 @@ int run_reliable(sys::Machine& machine, const sim::Config& cfg) {
   return 0;
 }
 
-int run_shm(sys::Machine& machine, const sim::Config& cfg, bool scoma) {
+int run_shm(Harness& h, const sim::Config& cfg, bool scoma) {
+  sys::Machine& machine = h.machine();
   const auto ops = cfg.get_u64("ops", 200);
   const auto words = cfg.get_u64("words", 16);
   const auto seed = cfg.get_u64("seed", 42);
@@ -298,7 +367,6 @@ int run_shm(sys::Machine& machine, const sim::Config& cfg, bool scoma) {
   // coherence protocols exist for) while every coroutine stays inside the
   // domain that owns its processor, so the workload is valid — and
   // bit-identical — at every threads= value. `ops` counts per node.
-  std::vector<std::uint8_t> done(machine.size(), 0);
   for (sim::NodeId n = 0; n < machine.size(); ++n) {
     machine.node(n).ap().run(
         [](sys::Node* node, std::uint64_t ops_, std::uint64_t words_,
@@ -327,20 +395,86 @@ int run_shm(sys::Machine& machine, const sim::Config& cfg, bool scoma) {
           }
           *d = 1;
         }(&machine.node(n), ops, words,
-          seed ^ (0x9e3779b97f4a7c15ull * (n + 1)), scoma, &done[n]));
+          seed ^ (0x9e3779b97f4a7c15ull * (n + 1)), scoma, h.done_flag(n)));
   }
-  const sim::Tick t0 = machine.now();
-  if (!sys::run_until(machine, [&] { return all_set(done); },
-                      deadline(cfg, machine))) {
-    std::fprintf(stderr, "svsim: timed out\n");
+  if (!h.drive()) {
     return 1;
   }
   std::printf("%s: %llu ops/node over %llu shared words in %.1f us\n",
               scoma ? "scoma" : "numa",
               static_cast<unsigned long long>(ops),
-              static_cast<unsigned long long>(words),
-              static_cast<double>(machine.now() - t0) / 1e6);
+              static_cast<unsigned long long>(words), h.elapsed_us());
   return 0;
+}
+
+/// app.* workloads: run one of the shipped applications (src/app/apps.hpp)
+/// through the SMPI-style runtime over the configured transport.
+int run_app(Harness& h, const sim::Config& cfg, const std::string& name) {
+  sys::Machine& machine = h.machine();
+
+  app::World::Params wp;
+  wp.nranks = cfg.get_u64("ranks", 0);
+  const std::string transport = cfg.get_string("transport", "msg");
+  if (transport == "msg") {
+    wp.transport = app::TransportKind::kMsg;
+  } else if (transport == "shm") {
+    wp.transport = app::TransportKind::kShm;
+  } else if (transport == "reliable") {
+    wp.transport = app::TransportKind::kReliable;
+  } else {
+    std::fprintf(stderr, "svsim: unknown transport '%s'\n",
+                 transport.c_str());
+    return 2;
+  }
+  wp.shm_region = cfg.get_string("app.shm", "numa") == "scoma"
+                      ? app::ShmTransport::Region::kScoma
+                      : app::ShmTransport::Region::kNuma;
+  wp.reliable = reliable_params(cfg);
+
+  app::AppResult result;
+  app::World::Program program;
+  if (name == "app.stencil") {
+    app::StencilParams p;
+    p.nx = cfg.get_u64("nx", p.nx);
+    p.ny = cfg.get_u64("ny", p.ny);
+    p.iters = cfg.get_u64("iters", p.iters);
+    p.point_cycles = cfg.get_u64("point_cycles", p.point_cycles);
+    program = app::make_stencil(p, &result);
+  } else if (name == "app.allreduce") {
+    app::AllreduceParams p;
+    p.min_elems = cfg.get_u64("min_elems", p.min_elems);
+    p.max_elems = cfg.get_u64("max_elems", p.max_elems);
+    p.iters = cfg.get_u64("iters", p.iters);
+    program = app::make_allreduce_sweep(p, &result);
+  } else if (name == "app.kv") {
+    app::KvParams p;
+    p.servers = cfg.get_u64("servers", p.servers);
+    p.requests = cfg.get_u64("requests", p.requests);
+    p.keys = cfg.get_u64("keys", p.keys);
+    p.value_bytes = cfg.get_u64("value_bytes", p.value_bytes);
+    p.seed = cfg.get_u64("seed", p.seed);
+    p.op_cycles = cfg.get_u64("op_cycles", p.op_cycles);
+    program = app::make_kv(p, &result);
+  } else {
+    std::fprintf(stderr, "svsim: unknown app workload '%s'\n", name.c_str());
+    return 2;
+  }
+
+  app::World world(machine, wp);
+  world.launch(program);
+  if (!h.drive([&] { return world.done(); })) {
+    return 1;
+  }
+  std::printf("%s over %s: %zu ranks on %zu nodes, %llu ops, "
+              "checksum %.10g, %llu errors in %.1f us\n",
+              name.c_str(), world.transport(0).kind(), world.nranks(),
+              machine.size(), static_cast<unsigned long long>(result.ops),
+              result.checksum,
+              static_cast<unsigned long long>(result.errors),
+              h.elapsed_us());
+  // Dump here (not from main) so the World's app.* counters are included.
+  h.dump_stats([&](sim::StatRegistry& reg) { world.add_stats(reg); });
+  return result.errors == 0 ? 0 : 1;
 }
 
 }  // namespace
@@ -348,8 +482,8 @@ int run_shm(sys::Machine& machine, const sim::Config& cfg, bool scoma) {
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: svsim <msg|express|xfer|dma|scoma|numa|reliable> "
-                 "[key=value ...]\n");
+                 "usage: svsim <msg|express|xfer|dma|scoma|numa|reliable|"
+                 "app.stencil|app.allreduce|app.kv> [key=value ...]\n");
     return 2;
   }
   const std::string workload = argv[1];
@@ -377,21 +511,24 @@ int main(int argc, char** argv) {
         cfg.get_u64("trace_buf", trace::Tracer::kDefaultCapacity));
   }
 
+  Harness harness(machine, cfg);
   int rc = 2;
   if (workload == "msg") {
-    rc = run_msg(machine, cfg, false);
+    rc = run_msg(harness, cfg, false);
   } else if (workload == "express") {
-    rc = run_msg(machine, cfg, true);
+    rc = run_msg(harness, cfg, true);
   } else if (workload == "xfer") {
     rc = run_xfer(machine, cfg);
   } else if (workload == "dma") {
-    rc = run_dma(machine, cfg);
+    rc = run_dma(harness, cfg);
   } else if (workload == "scoma") {
-    rc = run_shm(machine, cfg, true);
+    rc = run_shm(harness, cfg, true);
   } else if (workload == "numa") {
-    rc = run_shm(machine, cfg, false);
+    rc = run_shm(harness, cfg, false);
   } else if (workload == "reliable") {
-    rc = run_reliable(machine, cfg);
+    rc = run_reliable(harness, cfg);
+  } else if (workload.rfind("app.", 0) == 0) {
+    rc = run_app(harness, cfg, workload);
   } else {
     std::fprintf(stderr, "svsim: unknown workload '%s'\n",
                  workload.c_str());
@@ -421,13 +558,6 @@ int main(int argc, char** argv) {
                 trace_file.c_str());
   }
 
-  if (cfg.get_bool("stats", false)) {
-    if (cfg.get_string("stats_format", "text") == "json") {
-      sys::dump_stats_json(machine, std::cout);
-    } else {
-      std::printf("\n--- machine statistics ---\n");
-      sys::dump_stats(machine, std::cout);
-    }
-  }
+  harness.dump_stats();
   return rc;
 }
