@@ -6,6 +6,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "ckpt/io.hpp"
+
 namespace sv::app {
 
 namespace {
@@ -383,6 +385,21 @@ void World::add_stats(sim::StatRegistry& reg) const {
   reg.set("app.total.bytes_sent", static_cast<double>(bytes));
   reg.set("app.total.msgs_delivered", static_cast<double>(delivered));
   reg.set("app.total.local_delivered", static_cast<double>(local));
+}
+
+void World::ckpt_save(ckpt::Writer& w) const {
+  w.u64(ranks_.size());
+  for (const RankState& rs : ranks_) {
+    w.u8(rs.finished);
+    w.u16(rs.comm.gen_barrier_);
+    w.u16(rs.comm.gen_bcast_);
+    w.u16(rs.comm.gen_reduce_);
+    w.u16(rs.comm.gen_allreduce_);
+  }
+  w.u64(transports_.size());
+  for (const auto& t : transports_) {
+    t->ckpt_save(w);
+  }
 }
 
 }  // namespace sv::app

@@ -179,6 +179,11 @@ class World {
   /// machine totals) — byte-identical across thread counts.
   void add_stats(sim::StatRegistry& reg) const;
 
+  /// Snapshot state: per-rank completion flags and collective generation
+  /// counters, then every node's transport (mailboxes, reassembly,
+  /// mechanism cursors). Call only at an epoch boundary.
+  void ckpt_save(ckpt::Writer& w) const;
+
  private:
   friend class Comm;
   struct RankState {

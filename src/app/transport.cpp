@@ -4,6 +4,9 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "ckpt/io.hpp"
+#include "sim/crc32.hpp"
+
 namespace sv::app {
 
 namespace {
@@ -372,6 +375,57 @@ sim::Co<void> ShmTransport::rx_sweep() {
     if (!any) {
       co_await sim::delay(kernel_, poll_interval_);
     }
+  }
+}
+
+void Transport::ckpt_save(ckpt::Writer& w) const {
+  w.u64(stats_.msgs_sent.value());
+  w.u64(stats_.frames_sent.value());
+  w.u64(stats_.bytes_sent.value());
+  w.u64(stats_.msgs_delivered.value());
+  w.u64(stats_.local_delivered.value());
+  for (const std::uint16_t seq : next_seq_) {
+    w.u16(seq);
+  }
+  // Mailbox: per-rank depth plus a digest over (src, tag, payload).
+  for (const auto& q : mbox_) {
+    w.u64(q.size());
+    std::uint32_t crc = 0;
+    for (const Inbound& m : q) {
+      crc = sim::crc32(std::as_bytes(std::span(&m.src_rank, 1)), crc);
+      crc = sim::crc32(std::as_bytes(std::span(&m.tag, 1)), crc);
+      crc = sim::crc32(m.data, crc);
+    }
+    w.u32(crc);
+  }
+  // Reassembly buffers, in (src, dst, seq) key order (std::map).
+  w.u64(assembling_.size());
+  std::uint32_t crc = 0;
+  for (const auto& [key, asm_] : assembling_) {
+    crc = sim::crc32(std::as_bytes(std::span(&key, 1)), crc);
+    crc = sim::crc32(std::as_bytes(std::span(&asm_.tag, 1)), crc);
+    crc = sim::crc32(std::as_bytes(std::span(&asm_.got, 1)), crc);
+    for (const auto& part : asm_.parts) {
+      crc = sim::crc32(part, crc);
+    }
+  }
+  w.u32(crc);
+}
+
+void ReliableTransport::ckpt_save(ckpt::Writer& w) const {
+  Transport::ckpt_save(w);
+  chan_.ckpt_save(w);
+}
+
+void ShmTransport::ckpt_save(ckpt::Writer& w) const {
+  Transport::ckpt_save(w);
+  for (const TxRing& tx : tx_) {
+    w.u32(tx.next_seq);
+    w.u32(tx.consumed_seen);
+    w.u32(tx.unflushed);
+  }
+  for (const RxRing& rx : rx_) {
+    w.u32(rx.expected);
   }
 }
 

@@ -36,6 +36,10 @@
 #include "sim/stats.hpp"
 #include "sys/node.hpp"
 
+namespace sv::ckpt {
+class Writer;
+}  // namespace sv::ckpt
+
 namespace sv::app {
 
 /// recv() wildcards.
@@ -107,6 +111,11 @@ class Transport {
   [[nodiscard]] const TransportStats& stats() const { return stats_; }
   [[nodiscard]] sys::Node& node() { return node_; }
 
+  /// Snapshot state. The base writes the counters, per-pair sequence
+  /// cursors, and digests of the mailbox and reassembly buffers;
+  /// mechanism subclasses with extra state chain back to this.
+  virtual void ckpt_save(ckpt::Writer& w) const;
+
  protected:
   /// Largest application payload one mechanism frame can carry.
   [[nodiscard]] virtual std::size_t frame_payload() const = 0;
@@ -176,6 +185,9 @@ class ReliableTransport final : public Transport {
 
   [[nodiscard]] msg::ReliableChannel& channel() { return chan_; }
 
+  /// Base state plus the reliable channel's windows and timers.
+  void ckpt_save(ckpt::Writer& w) const override;
+
  protected:
   [[nodiscard]] std::size_t frame_payload() const override {
     return msg::ReliableChannel::kMaxPayload - WireHeader::kBytes;
@@ -217,6 +229,9 @@ class ShmTransport final : public Transport {
   [[nodiscard]] const char* kind() const override {
     return region_ == Region::kNuma ? "shm" : "shm-scoma";
   }
+
+  /// Base state plus every ring's sequence/flow-control cursors.
+  void ckpt_save(ckpt::Writer& w) const override;
 
  protected:
   [[nodiscard]] std::size_t frame_payload() const override {

@@ -1,0 +1,36 @@
+// The Checkpointable interface (DESIGN.md §14).
+//
+// A component that carries architectural state implements ckpt_save() to
+// append that state to a Writer in the canonical encoding (ckpt/io.hpp).
+// Snapshot capture walks the machine and records one named chunk per
+// component; restore replays the simulation to the snapshot tick and then
+// re-captures, byte-comparing every chunk — so ckpt_save() doubles as the
+// component's bit-identity oracle. Two consequences for implementers:
+//
+//   - ckpt_save() must be a pure read of simulation state: no RNG draws,
+//     no host-dependent values (pointers, host time, iteration order of
+//     unordered containers), no simulated side effects.
+//   - Bulk payload state (DRAM pages, SRAM banks, cache data arrays) may
+//     be captured as a CRC-32 digest instead of raw bytes; control state
+//     (sequence numbers, window contents, queue cursors, RNG streams) is
+//     captured raw. Either way a single diverging bit fails verification.
+#pragma once
+
+#include <string>
+
+#include "ckpt/io.hpp"
+
+namespace sv::ckpt {
+
+class Checkpointable {
+ public:
+  virtual ~Checkpointable() = default;
+
+  /// Stable chunk name, unique within one machine ("n3.bus", "fault", ...).
+  [[nodiscard]] virtual std::string ckpt_name() const = 0;
+
+  /// Append this component's architectural state to `w`.
+  virtual void ckpt_save(Writer& w) const = 0;
+};
+
+}  // namespace sv::ckpt

@@ -1,0 +1,142 @@
+// Byte-level serialization primitives for machine snapshots (DESIGN.md
+// §14).
+//
+// Header-only on purpose: every component library implements a
+// ckpt_save() method that appends its architectural state to a Writer,
+// and depending on a low-level header (rather than a ckpt library) keeps
+// the dependency graph acyclic — sv_ckpt sits on top of sv_app/sv_sys and
+// orchestrates, while the components below it only ever see these two
+// classes.
+//
+// Encoding rules, chosen so a snapshot is a deterministic function of
+// machine state alone:
+//   - all integers little-endian, fixed width (no varints)
+//   - doubles as IEEE-754 bit patterns in a u64 (never formatted text)
+//   - containers as u64 count followed by elements, in a canonical order
+//     (map iteration order, node-id order, sequence order)
+// A Reader checks bounds on every read and throws ckpt::Error instead of
+// ever reading past the end, so truncated or corrupted snapshots are
+// rejected, never UB (ckpt_property_test runs this under ASan/UBSan).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sv::ckpt {
+
+/// Any structural problem with a snapshot: bad magic, version mismatch,
+/// CRC failure, truncation, or a state-verification divergence.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+class Writer {
+ public:
+  void u8(std::uint8_t v) { bytes_.push_back(static_cast<std::byte>(v)); }
+  void u16(std::uint16_t v) { put_le(v); }
+  void u32(std::uint32_t v) { put_le(v); }
+  void u64(std::uint64_t v) { put_le(v); }
+  void b(bool v) { u8(v ? 1 : 0); }
+  void tick(std::uint64_t v) { u64(v); }
+
+  /// IEEE bit pattern, not text: bit-identical round-trips, no locale or
+  /// formatting dependence.
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+  void str(std::string_view s) {
+    u64(s.size());
+    const auto* p = reinterpret_cast<const std::byte*>(s.data());
+    bytes_.insert(bytes_.end(), p, p + s.size());
+  }
+
+  void bytes(std::span<const std::byte> s) {
+    u64(s.size());
+    bytes_.insert(bytes_.end(), s.begin(), s.end());
+  }
+
+  [[nodiscard]] const std::vector<std::byte>& data() const { return bytes_; }
+  [[nodiscard]] std::size_t size() const { return bytes_.size(); }
+
+ private:
+  template <typename T>
+  void put_le(T v) {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      bytes_.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xFF));
+    }
+  }
+
+  std::vector<std::byte> bytes_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::byte> data) : data_(data) {}
+
+  std::uint8_t u8() { return static_cast<std::uint8_t>(take(1)[0]); }
+  std::uint16_t u16() { return get_le<std::uint16_t>(); }
+  std::uint32_t u32() { return get_le<std::uint32_t>(); }
+  std::uint64_t u64() { return get_le<std::uint64_t>(); }
+  bool b() { return u8() != 0; }
+  std::uint64_t tick() { return u64(); }
+  double f64() { return std::bit_cast<double>(u64()); }
+
+  std::string str() {
+    const std::uint64_t n = len(u64());
+    const auto s = take(n);
+    return {reinterpret_cast<const char*>(s.data()), s.size()};
+  }
+
+  std::vector<std::byte> bytes() {
+    const std::uint64_t n = len(u64());
+    const auto s = take(n);
+    return {s.begin(), s.end()};
+  }
+
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] bool done() const { return remaining() == 0; }
+
+ private:
+  std::span<const std::byte> take(std::size_t n) {
+    if (n > remaining()) {
+      throw Error("snapshot truncated: need " + std::to_string(n) +
+                  " bytes at offset " + std::to_string(pos_) + ", have " +
+                  std::to_string(remaining()));
+    }
+    const auto s = data_.subspan(pos_, n);
+    pos_ += n;
+    return s;
+  }
+
+  /// Guard container lengths against overflow-crafted values before any
+  /// allocation sized by them.
+  std::uint64_t len(std::uint64_t n) {
+    if (n > remaining()) {
+      throw Error("snapshot corrupt: length " + std::to_string(n) +
+                  " exceeds remaining " + std::to_string(remaining()) +
+                  " bytes");
+    }
+    return n;
+  }
+
+  template <typename T>
+  T get_le() {
+    const auto s = take(sizeof(T));
+    T v = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v |= static_cast<T>(static_cast<std::uint8_t>(s[i])) << (8 * i);
+    }
+    return v;
+  }
+
+  std::span<const std::byte> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace sv::ckpt

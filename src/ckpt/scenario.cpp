@@ -1,0 +1,245 @@
+#include "ckpt/scenario.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <utility>
+
+#include "ckpt/capture.hpp"
+#include "msg/reliable.hpp"
+#include "sim/config.hpp"
+#include "sys/experiment.hpp"
+#include "sys/machine.hpp"
+
+namespace sv::ckpt {
+
+namespace {
+
+constexpr char kScenarioTag[] = "reliable_ring";
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos) {
+      nl = text.size();
+    }
+    if (nl > pos) {
+      lines.push_back(text.substr(pos, nl - pos));
+    }
+    pos = nl + 1;
+  }
+  return lines;
+}
+
+sim::Config parse_config(const std::string& text) {
+  try {
+    return sim::Config::from_args(split_lines(text));
+  } catch (const std::exception& e) {
+    throw Error(std::string("bad scenario config: ") + e.what());
+  }
+}
+
+/// The deterministic payload node `src` sends as its i-th message.
+std::vector<std::byte> ring_payload(sim::NodeId src, std::uint64_t i,
+                                    std::uint64_t bytes) {
+  std::vector<std::byte> p(bytes);
+  for (std::size_t b = 0; b < p.size(); ++b) {
+    p[b] = static_cast<std::byte>(src + i + b);
+  }
+  return p;
+}
+
+/// One ring machine plus its channels and completion/verdict flags.
+struct RingRun {
+  sys::Machine machine;
+  std::vector<std::unique_ptr<msg::Endpoint>> eps;
+  std::vector<std::unique_ptr<msg::ReliableChannel>> chans;
+  std::vector<std::uint8_t> done;
+  std::vector<std::uint8_t> gave_up;
+  std::string mismatch;  // first content violation seen, machine-wide
+
+  RingRun(const RingSpec& spec, std::vector<std::uint64_t> script)
+      : machine(machine_params(spec, std::move(script))),
+        done(spec.nodes, 0),
+        gave_up(spec.nodes, 0) {
+    const auto map = machine.addr_map();
+    msg::ReliableChannel::Params cp;
+    cp.window = spec.window;
+    cp.retransmit.base_timeout = spec.timeout_us * sim::kMicrosecond;
+    cp.retransmit.give_up_after = static_cast<unsigned>(spec.give_up);
+    for (sim::NodeId n = 0; n < machine.size(); ++n) {
+      eps.push_back(std::make_unique<msg::Endpoint>(
+          machine.node(n).ap(), machine.node(n).endpoint_config()));
+      chans.push_back(
+          std::make_unique<msg::ReliableChannel>(*eps[n], map, n, cp));
+      chans[n]->set_give_up(
+          [this, n](sim::NodeId) { gave_up[n] = 1; });
+      chans[n]->start();
+    }
+    for (sim::NodeId n = 0; n < machine.size(); ++n) {
+      machine.node(n).ap().run(node_program(n, spec));
+    }
+  }
+
+  [[nodiscard]] bool all_done() const {
+    for (const auto f : done) {
+      if (f == 0) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  [[nodiscard]] bool any_gave_up() const {
+    for (const auto f : gave_up) {
+      if (f != 0) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  static sys::Machine::Params machine_params(
+      const RingSpec& spec, std::vector<std::uint64_t> script) {
+    sys::Machine::Params mp;
+    mp.nodes = spec.nodes;
+    mp.net = sys::Machine::NetKind::kIdeal;
+    mp.fault.seed = spec.fault_seed;
+    // Scripted mode (single event domain): even an empty script keeps the
+    // injector alive so drop opportunities are counted.
+    mp.fault.scripted = true;
+    std::sort(script.begin(), script.end());
+    mp.fault.drop_script = std::move(script);
+    return mp;
+  }
+
+  // `spec` by value: the coroutine frame outlives the constructor call
+  // that spawns it.
+  sim::Co<void> node_program(sim::NodeId self, RingSpec spec) {
+    const auto nodes = machine.size();
+    const auto right = static_cast<sim::NodeId>((self + 1) % nodes);
+    const auto left =
+        static_cast<sim::NodeId>((self + nodes - 1) % nodes);
+    msg::ReliableChannel& ch = *chans[self];
+    for (std::uint64_t i = 0; i < spec.count; ++i) {
+      co_await ch.send(right, ring_payload(self, i, spec.bytes));
+    }
+    for (std::uint64_t i = 0; i < spec.count; ++i) {
+      const std::vector<std::byte> got = co_await ch.recv(left);
+      const std::vector<std::byte> want =
+          ring_payload(left, i, spec.bytes);
+      if (got != want && mismatch.empty()) {
+        char buf[96];
+        std::snprintf(buf, sizeof(buf),
+                      "node %u message %llu from node %u: payload "
+                      "mismatch (%zu bytes)",
+                      self, static_cast<unsigned long long>(i), left,
+                      got.size());
+        mismatch = buf;
+      }
+    }
+    done[self] = 1;
+  }
+};
+
+}  // namespace
+
+std::string RingSpec::to_config() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "scenario=%s\nnodes=%llu\ncount=%llu\nbytes=%llu\n"
+                "window=%llu\ntimeout_us=%llu\ngive_up=%llu\n"
+                "deadline_ms=%llu\nfault_seed=%llu\n",
+                kScenarioTag, static_cast<unsigned long long>(nodes),
+                static_cast<unsigned long long>(count),
+                static_cast<unsigned long long>(bytes),
+                static_cast<unsigned long long>(window),
+                static_cast<unsigned long long>(timeout_us),
+                static_cast<unsigned long long>(give_up),
+                static_cast<unsigned long long>(deadline_ms),
+                static_cast<unsigned long long>(fault_seed));
+  return buf;
+}
+
+RingSpec RingSpec::from_config(const std::string& text) {
+  const sim::Config cfg = parse_config(text);
+  if (cfg.get_string("scenario") != kScenarioTag) {
+    throw Error("snapshot is not a reliable_ring scenario (scenario=" +
+                cfg.get_string("scenario", "<missing>") + ")");
+  }
+  RingSpec spec;
+  spec.nodes = cfg.get_u64("nodes", spec.nodes);
+  spec.count = cfg.get_u64("count", spec.count);
+  spec.bytes = cfg.get_u64("bytes", spec.bytes);
+  spec.window = cfg.get_u64("window", spec.window);
+  spec.timeout_us = cfg.get_u64("timeout_us", spec.timeout_us);
+  spec.give_up = cfg.get_u64("give_up", spec.give_up);
+  spec.deadline_ms = cfg.get_u64("deadline_ms", spec.deadline_ms);
+  spec.fault_seed = cfg.get_u64("fault_seed", spec.fault_seed);
+  return spec;
+}
+
+ScenarioResult run_reliable_ring(const RingSpec& spec,
+                                 const std::vector<std::uint64_t>& drops,
+                                 const Snapshot* resume) {
+  RingSpec eff = spec;
+  std::uint64_t base = 0;
+  if (resume != nullptr) {
+    eff = RingSpec::from_config(resume->config);
+    base = parse_config(resume->config).get_u64("base_opp", 0);
+  }
+  std::vector<std::uint64_t> script;
+  script.reserve(drops.size());
+  for (const std::uint64_t d : drops) {
+    script.push_back(base + d);
+  }
+  RingRun run(eff, std::move(script));
+  const sim::Tick deadline = eff.deadline_ms * sim::kMillisecond;
+
+  if (resume != nullptr) {
+    // Every scripted drop lands at/after the checkpoint's opportunity
+    // base, so the replay prefix must reproduce the fault-free capture
+    // bit-for-bit; verify() throws otherwise.
+    run_to_tick(run.machine, resume->tick, deadline);
+    Snapshot::verify(*resume, capture(run.machine, resume->config));
+  }
+
+  const bool completed = sys::run_until(
+      run.machine, [&] { return run.all_done(); }, deadline);
+
+  ScenarioResult r;
+  r.opportunities =
+      run.machine.fault_injector()->drop_opportunities() - base;
+  r.state_hash = capture(run.machine, "").state_hash();
+  if (!run.mismatch.empty()) {
+    r.violation = true;
+    r.detail = run.mismatch;
+  } else if (!completed && !run.any_gave_up()) {
+    r.violation = true;
+    r.detail = "stuck: ring never completed and no channel gave up";
+  }
+  return r;
+}
+
+Snapshot checkpoint_reliable_ring(const RingSpec& spec, sim::Tick at) {
+  RingRun run(spec, {});
+  const sim::Tick deadline = spec.deadline_ms * sim::kMillisecond;
+  run_to_tick(run.machine, at, deadline);
+  std::string config = spec.to_config();
+  config += "base_opp=" +
+            std::to_string(
+                run.machine.fault_injector()->drop_opportunities()) +
+            "\n";
+  return capture(run.machine, std::move(config));
+}
+
+ScenarioFn reliable_ring_scenario(RingSpec spec, const Snapshot* resume) {
+  return [spec, resume](const std::vector<std::uint64_t>& drops) {
+    return run_reliable_ring(spec, drops, resume);
+  };
+}
+
+}  // namespace sv::ckpt

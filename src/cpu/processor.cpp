@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "ckpt/stats_io.hpp"
+
 namespace sv::cpu {
 
 Processor::Processor(sim::Kernel& kernel, std::string name, mem::MemBus& bus,
@@ -286,6 +288,12 @@ void Processor::run(sim::Co<void> program, sim::OneShot* done) {
       d->fire();
     }
   }(std::move(program), done));
+}
+
+void Processor::ckpt_save(ckpt::Writer& w) const {
+  ckpt::save(w, ops_);
+  ckpt::save(w, busy_);
+  w.u64(quantum_ticks_);
 }
 
 }  // namespace sv::cpu

@@ -96,6 +96,9 @@ class Processor : public sim::SimObject, public mem::BusDevice {
   /// the registry dump must stay byte-identical across modes.
   [[nodiscard]] sim::Tick quantum_ticks() const { return quantum_ticks_; }
 
+  /// Snapshot state: op count, busy time, and batched-quantum coverage.
+  void ckpt_save(ckpt::Writer& w) const;
+
   // --- BusDevice (the processor masters the bus for uncached ops; it never
   // claims addresses or holds state, so snooping is trivial) ---
   [[nodiscard]] std::string_view device_name() const override {

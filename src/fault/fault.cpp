@@ -1,5 +1,9 @@
 #include "fault/fault.hpp"
 
+#include <algorithm>
+#include <sstream>
+
+#include "ckpt/stats_io.hpp"
 #include "sim/config.hpp"
 #include "trace/trace.hpp"
 
@@ -21,6 +25,20 @@ Plan Plan::from_config(const sim::Config& cfg) {
       cfg.get_u64("fault.starve_cycles", p.starve_cycles));
   p.rx_overflow_rate =
       cfg.get_double("fault.rx_overflow_rate", p.rx_overflow_rate);
+  // fault.drop_script=3,17,42 switches to scripted mode (the explorer's
+  // reproduction path): those global drop opportunities and only those.
+  if (const std::string script = cfg.get_string("fault.drop_script");
+      !script.empty()) {
+    p.scripted = true;
+    std::istringstream in(script);
+    std::string tok;
+    while (std::getline(in, tok, ',')) {
+      if (!tok.empty()) {
+        p.drop_script.push_back(std::stoull(tok));
+      }
+    }
+    std::sort(p.drop_script.begin(), p.drop_script.end());
+  }
   return p;
 }
 
@@ -96,6 +114,17 @@ void Injector::mark(sim::Kernel& k, std::uint32_t lane, const char* what,
 bool Injector::drop_packet(sim::Kernel& k, std::uint32_t l,
                            std::uint64_t flow) {
   Lane& ln = lane(l);
+  ++ln.cursors.drop;
+  if (plan_.scripted) {
+    const std::uint64_t idx = script_cursor_++;
+    if (!std::binary_search(plan_.drop_script.begin(),
+                            plan_.drop_script.end(), idx)) {
+      return false;
+    }
+    ln.stats.drops.inc();
+    mark(k, l, "fault: drop", flow);
+    return true;
+  }
   if (plan_.drop_rate <= 0.0 || !ln.drop.chance(plan_.drop_rate)) {
     return false;
   }
@@ -107,6 +136,7 @@ bool Injector::drop_packet(sim::Kernel& k, std::uint32_t l,
 bool Injector::corrupt_packet(sim::Kernel& k, std::uint32_t l,
                               std::uint64_t flow) {
   Lane& ln = lane(l);
+  ++ln.cursors.corrupt;
   if (plan_.corrupt_rate <= 0.0 || !ln.corrupt.chance(plan_.corrupt_rate)) {
     return false;
   }
@@ -127,6 +157,7 @@ void Injector::corrupt(std::uint32_t l, std::span<std::byte> payload) {
 sim::Tick Injector::link_down_window(sim::Kernel& k, std::uint32_t l,
                                      std::uint64_t flow) {
   Lane& ln = lane(l);
+  ++ln.cursors.down;
   if (plan_.link_down_rate <= 0.0 ||
       !ln.down.chance(plan_.link_down_rate)) {
     return 0;
@@ -138,6 +169,7 @@ sim::Tick Injector::link_down_window(sim::Kernel& k, std::uint32_t l,
 
 std::uint32_t Injector::router_stall_cycles(sim::Kernel& k, std::uint32_t l) {
   Lane& ln = lane(l);
+  ++ln.cursors.stall;
   if (plan_.router_stall_rate <= 0.0 ||
       !ln.stall.chance(plan_.router_stall_rate)) {
     return 0;
@@ -149,6 +181,7 @@ std::uint32_t Injector::router_stall_cycles(sim::Kernel& k, std::uint32_t l) {
 
 std::uint32_t Injector::starvation_cycles(sim::Kernel& k, std::uint32_t l) {
   Lane& ln = lane(l);
+  ++ln.cursors.starve;
   if (plan_.starve_rate <= 0.0 || !ln.starve.chance(plan_.starve_rate)) {
     return 0;
   }
@@ -160,6 +193,7 @@ std::uint32_t Injector::starvation_cycles(sim::Kernel& k, std::uint32_t l) {
 bool Injector::rx_overflow(sim::Kernel& k, std::uint32_t l,
                            std::uint64_t flow) {
   Lane& ln = lane(l);
+  ++ln.cursors.overflow;
   if (plan_.rx_overflow_rate <= 0.0 ||
       !ln.overflow.chance(plan_.rx_overflow_rate)) {
     return false;
@@ -167,6 +201,39 @@ bool Injector::rx_overflow(sim::Kernel& k, std::uint32_t l,
   ln.stats.rx_overflows.inc();
   mark(k, l, "fault: rx overflow", flow);
   return true;
+}
+
+std::uint64_t Injector::drop_opportunities() const {
+  std::uint64_t n = 0;
+  for (const Lane& l : lanes_) {
+    n += l.cursors.drop;
+  }
+  return n;
+}
+
+void Injector::ckpt_save(ckpt::Writer& w) const {
+  w.u64(lanes_.size());
+  for (const Lane& l : lanes_) {
+    ckpt::save(w, l.drop);
+    ckpt::save(w, l.corrupt);
+    ckpt::save(w, l.down);
+    ckpt::save(w, l.stall);
+    ckpt::save(w, l.starve);
+    ckpt::save(w, l.overflow);
+    w.u64(l.cursors.drop);
+    w.u64(l.cursors.corrupt);
+    w.u64(l.cursors.down);
+    w.u64(l.cursors.stall);
+    w.u64(l.cursors.starve);
+    w.u64(l.cursors.overflow);
+    ckpt::save(w, l.stats.drops);
+    ckpt::save(w, l.stats.corrupts);
+    ckpt::save(w, l.stats.link_downs);
+    ckpt::save(w, l.stats.router_stalls);
+    ckpt::save(w, l.stats.starvations);
+    ckpt::save(w, l.stats.rx_overflows);
+  }
+  w.u64(script_cursor_);
 }
 
 }  // namespace sv::fault

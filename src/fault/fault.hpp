@@ -60,10 +60,19 @@ struct Plan {
   // niu::RxU fault: packet discarded as if the Rx queue overflowed.
   double rx_overflow_rate = 0.0;
 
+  /// Scripted drop mode (the scenario explorer, DESIGN.md §14): instead of
+  /// drawing from the per-lane RNG streams, drop exactly the opportunities
+  /// whose global index — counting every drop_packet() call across all
+  /// lanes in arrival order — appears in `drop_script` (kept sorted).
+  /// Global arrival order is only deterministic in a single event domain,
+  /// so scripted runs require threads == 0.
+  bool scripted = false;
+  std::vector<std::uint64_t> drop_script;
+
   [[nodiscard]] bool enabled() const {
-    return drop_rate > 0.0 || corrupt_rate > 0.0 || link_down_rate > 0.0 ||
-           router_stall_rate > 0.0 || starve_rate > 0.0 ||
-           rx_overflow_rate > 0.0;
+    return scripted || drop_rate > 0.0 || corrupt_rate > 0.0 ||
+           link_down_rate > 0.0 || router_stall_rate > 0.0 ||
+           starve_rate > 0.0 || rx_overflow_rate > 0.0;
   }
 
   /// Read "fault.*" keys (fault.seed, fault.drop_rate, fault.corrupt_rate,
@@ -139,6 +148,18 @@ class Injector {
                                                std::string_view stream,
                                                std::uint32_t lane);
 
+  /// Total drop opportunities observed so far (drop_packet calls), summed
+  /// over all lanes in lane order. In a scripted (single-domain) run this
+  /// equals the global opportunity index the script addresses; the
+  /// explorer uses it as the reachability horizon for extending patterns.
+  [[nodiscard]] std::uint64_t drop_opportunities() const;
+
+  /// Snapshot state: per-lane decision cursors (one per category — a count
+  /// of draws taken), the six raw RNG streams per lane, per-lane injection
+  /// counters, and the scripted-mode cursor. A restored run's streams must
+  /// land on the same words bit-for-bit (the fault_matrix_test oracle).
+  void ckpt_save(ckpt::Writer& w) const;
+
  private:
   struct Lane {
     Lane(std::uint64_t master, std::uint32_t index);
@@ -150,6 +171,17 @@ class Injector {
     sim::Rng starve;
     sim::Rng overflow;
     Stats stats;
+    /// Decision cursors: how many times each category's hook ran on this
+    /// lane (whether or not it injected). Purely additive bookkeeping —
+    /// the RNG draw sequence is unchanged.
+    struct Cursors {
+      std::uint64_t drop = 0;
+      std::uint64_t corrupt = 0;
+      std::uint64_t down = 0;
+      std::uint64_t stall = 0;
+      std::uint64_t starve = 0;
+      std::uint64_t overflow = 0;
+    } cursors;
   };
 
   Lane& lane(std::uint32_t i);
@@ -163,6 +195,9 @@ class Injector {
   Plan plan_;
   // deque: lane references stay valid across on-demand growth.
   std::deque<Lane> lanes_;
+  /// Global drop-opportunity cursor, advanced only in scripted mode (which
+  /// requires a single event domain — see Plan::scripted).
+  std::uint64_t script_cursor_ = 0;
 };
 
 }  // namespace sv::fault

@@ -1,6 +1,7 @@
 #include "fw/dma.hpp"
 
 #include <algorithm>
+#include "ckpt/io.hpp"
 
 namespace sv::fw {
 
@@ -148,6 +149,15 @@ sim::Co<void> DmaEngine::handle(DmaRequest req) {
     co_await sp_.acquire();
     co_await sbiu_.immediate(std::move(note));
     sp_.release();
+  }
+}
+
+void DmaEngine::ckpt_save(ckpt::Writer& w) const {
+  FwService::ckpt_save(w);
+  w.u32(next_tag_);
+  w.u64(completed_tags_.size());
+  for (const std::uint32_t tag : completed_tags_) {
+    w.u32(tag);
   }
 }
 

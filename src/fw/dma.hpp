@@ -56,6 +56,10 @@ class DmaEngine final : public FwService {
 
   [[nodiscard]] const sim::Counter& requests() const { return events_; }
 
+  /// Snapshot state: base event counter, the tag allocator, and any
+  /// completion tags seen but not yet consumed by wait_done().
+  void ckpt_save(ckpt::Writer& w) const override;
+
  private:
   sim::Co<void> loop();
   sim::Co<void> done_loop();

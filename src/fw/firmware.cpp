@@ -1,5 +1,7 @@
 #include "fw/firmware.hpp"
 
+#include "ckpt/io.hpp"
+
 namespace sv::fw {
 
 FwService::FwService(sim::Kernel& kernel, std::string name,
@@ -83,5 +85,7 @@ sim::Co<void> FwService::write_ap(mem::Addr addr,
   cmd.data.assign(in.begin(), in.end());
   co_await sbiu_.immediate(std::move(cmd));
 }
+
+void FwService::ckpt_save(ckpt::Writer& w) const { w.u64(events_.value()); }
 
 }  // namespace sv::fw

@@ -26,6 +26,10 @@
 #include "sim/coro.hpp"
 #include "trace/trace.hpp"
 
+namespace sv::ckpt {
+class Writer;
+}  // namespace sv::ckpt
+
 namespace sv::fw {
 
 inline constexpr net::QueueId kDmaReqL = 0x0F00;
@@ -84,6 +88,11 @@ class FwService : public sim::SimObject {
 
   /// Spawn the service's loops.
   virtual void start() = 0;
+
+  /// Snapshot state. The base writes the event counter; engines with
+  /// protocol state (directories, queue images, in-flight tags) override
+  /// and chain back to this.
+  virtual void ckpt_save(ckpt::Writer& w) const;
 
  protected:
   /// Wait (without occupying the sP) until this service's queue is

@@ -1,4 +1,5 @@
 #include "fw/miss_service.hpp"
+#include "ckpt/io.hpp"
 
 namespace sv::fw {
 
@@ -56,6 +57,17 @@ sim::Co<void> MissService::loop() {
     co_await write_ap(e.desc.base, pword);
     sp_.release();
     trace_handler("miss.spill", h0);
+  }
+}
+
+void MissService::ckpt_save(ckpt::Writer& w) const {
+  FwService::ckpt_save(w);
+  w.u64(unregistered_.value());
+  w.u64(overflowed_.value());
+  w.u64(queues_.size());
+  for (const auto& [logical, entry] : queues_) {  // std::map: key order
+    w.u32(logical);
+    w.u32(entry.producer);
   }
 }
 

@@ -43,6 +43,10 @@ class MissService final : public FwService {
   }
   [[nodiscard]] const sim::Counter& overflowed() const { return overflowed_; }
 
+  /// Snapshot state: base event counter, the unregistered/overflow counts,
+  /// and every registered queue's firmware-side producer cursor.
+  void ckpt_save(ckpt::Writer& w) const override;
+
  private:
   sim::Co<void> loop();
 

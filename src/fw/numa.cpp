@@ -1,4 +1,5 @@
 #include "fw/numa.hpp"
+#include "ckpt/io.hpp"
 
 namespace sv::fw {
 
@@ -156,6 +157,12 @@ sim::Co<void> NumaEngine::reply_loop() {
     sp_.release();
     trace_handler("numa.reply", h0);
   }
+}
+
+void NumaEngine::ckpt_save(ckpt::Writer& w) const {
+  FwService::ckpt_save(w);
+  w.u64(remote_loads_.value());
+  w.u64(remote_stores_.value());
 }
 
 }  // namespace sv::fw

@@ -71,6 +71,10 @@ class NumaEngine final : public FwService {
     return remote_stores_;
   }
 
+  /// Snapshot state: base event counter plus remote load/store counts.
+  /// (claims_ is construction-time wiring, not dynamic state.)
+  void ckpt_save(ckpt::Writer& w) const override;
+
  private:
   sim::Co<void> client_loop();   // consumes aBIU-forwarded operations
   sim::Co<void> home_loop();     // services ReadReq/Write messages

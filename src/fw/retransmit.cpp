@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "ckpt/stats_io.hpp"
 #include "trace/trace.hpp"
 
 namespace sv::fw {
@@ -117,6 +118,19 @@ sim::Co<void> RetransmitEngine::timer_loop() {
       }
     }
   }
+}
+
+void RetransmitEngine::ckpt_save(ckpt::Writer& w) const {
+  w.u64(timers_.size());
+  for (const auto& [peer, t] : timers_) {
+    w.u32(peer);
+    w.b(t.armed);
+    w.b(t.dead);
+    w.u32(t.attempts);
+    w.tick(t.deadline);
+  }
+  ckpt::save(w, stats_.timeouts);
+  ckpt::save(w, stats_.giveups);
 }
 
 }  // namespace sv::fw

@@ -59,6 +59,10 @@ class RetransmitEngine : public sim::SimObject {
   [[nodiscard]] const Params& params() const { return params_; }
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
+  /// Snapshot state: per-peer timers (armed/dead flags, backoff attempt
+  /// count, absolute deadline) and the timeout/give-up counters.
+  void ckpt_save(ckpt::Writer& w) const;
+
  private:
   struct PeerTimer {
     bool armed = false;

@@ -1,6 +1,9 @@
 #include "fw/scoma.hpp"
 
 #include "niu/abiu.hpp"
+#include <algorithm>
+#include "ckpt/io.hpp"
+#include "sim/crc32.hpp"
 
 namespace sv::fw {
 
@@ -404,6 +407,34 @@ sim::Co<void> ChunkOpener::loop() {
     sp_.release();
     trace_handler("chunk.open", h0);
   }
+}
+
+void ScomaEngine::ckpt_save(ckpt::Writer& w) const {
+  FwService::ckpt_save(w);
+  w.u64(sstats_.read_misses.value());
+  w.u64(sstats_.write_misses.value());
+  w.u64(sstats_.recalls.value());
+  w.u64(sstats_.invalidations.value());
+  w.u64(sstats_.grants.value());
+  std::vector<mem::Addr> lines;
+  lines.reserve(dirs_.size());
+  for (const auto& [line, dir] : dirs_) {
+    (void)dir;
+    lines.push_back(line);
+  }
+  std::sort(lines.begin(), lines.end());
+  std::uint32_t crc = 0;
+  for (const mem::Addr line : lines) {
+    const Dir& dir = dirs_.at(line);
+    crc = sim::crc32(std::as_bytes(std::span(&line, 1)), crc);
+    const std::uint16_t owner = dir.owner;
+    crc = sim::crc32(std::as_bytes(std::span(&owner, 1)), crc);
+    for (const std::uint16_t sharer : dir.sharers) {  // std::set: sorted
+      crc = sim::crc32(std::as_bytes(std::span(&sharer, 1)), crc);
+    }
+  }
+  w.u64(lines.size());
+  w.u32(crc);
 }
 
 }  // namespace sv::fw

@@ -85,6 +85,10 @@ class ScomaEngine final : public FwService {
   };
   [[nodiscard]] const Stats& stats() const { return sstats_; }
 
+  /// Snapshot state: base event counter, the five protocol counters, and
+  /// a digest of the directory (owner + sharer sets, in line order).
+  void ckpt_save(ckpt::Writer& w) const override;
+
  private:
   static constexpr std::uint16_t kNoOwner = 0xFFFF;
   struct Dir {

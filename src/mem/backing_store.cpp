@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cstring>
 
+#include "ckpt/io.hpp"
+#include "sim/crc32.hpp"
+
 namespace sv::mem {
 
 const BackingStore::Page* BackingStore::find_page(Addr page_index) const {
@@ -72,6 +75,23 @@ void BackingStore::fill(Addr addr, std::size_t len, std::byte value) {
     std::memset(page.data() + offset, static_cast<int>(value), chunk);
     done += chunk;
   }
+}
+
+void BackingStore::ckpt_save(ckpt::Writer& w) const {
+  std::vector<Addr> indices;
+  indices.reserve(pages_.size());
+  for (const auto& [index, page] : pages_) {
+    (void)page;
+    indices.push_back(index);
+  }
+  std::sort(indices.begin(), indices.end());
+  std::uint32_t crc = 0;
+  for (const Addr index : indices) {
+    crc = sim::crc32(std::as_bytes(std::span(&index, 1)), crc);
+    crc = sim::crc32(pages_.at(index), crc);
+  }
+  w.u64(indices.size());
+  w.u32(crc);
 }
 
 }  // namespace sv::mem

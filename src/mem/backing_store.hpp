@@ -10,6 +10,10 @@
 #include <unordered_map>
 #include <vector>
 
+namespace sv::ckpt {
+class Writer;
+}  // namespace sv::ckpt
+
 namespace sv::mem {
 
 using Addr = std::uint64_t;
@@ -41,6 +45,14 @@ class BackingStore {
   void fill(Addr addr, std::size_t len, std::byte value);
 
   [[nodiscard]] std::size_t allocated_pages() const { return pages_.size(); }
+
+  /// Snapshot digest: page count plus a CRC-32 over (index, bytes) of every
+  /// allocated page in ascending index order. The hash map's own iteration
+  /// order is host-dependent, so the digest sorts first — a snapshot must
+  /// be a pure function of simulated state (DESIGN.md §14). Bulk payload is
+  /// digested rather than dumped raw; a single flipped byte still fails
+  /// restore verification.
+  void ckpt_save(ckpt::Writer& w) const;
 
  private:
   using Page = std::vector<std::byte>;

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "ckpt/stats_io.hpp"
+
 namespace sv::mem {
 
 std::string_view to_string(BusOp op) {
@@ -607,6 +609,17 @@ void MemBus::burst_complete() {
   // Resume last: the continuation may start a new burst that re-uses the
   // record.
   b.waiter.resume();
+}
+
+void MemBus::ckpt_save(ckpt::Writer& w) const {
+  ckpt::save(w, stats_.transactions);
+  ckpt::save(w, stats_.retries);
+  ckpt::save(w, stats_.interventions);
+  ckpt::save(w, stats_.address_only);
+  ckpt::save(w, stats_.data_beats);
+  ckpt::save(w, stats_.data_busy);
+  ckpt::save(w, stats_.latency_ps);
+  w.u64(fast_hits_);
 }
 
 }  // namespace sv::mem

@@ -4,6 +4,9 @@
 #include <cassert>
 #include <cstring>
 
+#include "ckpt/stats_io.hpp"
+#include "sim/crc32.hpp"
+
 namespace sv::mem {
 
 std::string_view to_string(MesiState s) {
@@ -437,6 +440,37 @@ void SnoopingCache::bus_observe(const BusRequest& req, const BusResult& res) {
       }
       break;
   }
+}
+
+void SnoopingCache::ckpt_save(ckpt::Writer& w) const {
+  ckpt::save(w, stats_.read_hits);
+  ckpt::save(w, stats_.read_misses);
+  ckpt::save(w, stats_.write_hits);
+  ckpt::save(w, stats_.write_misses);
+  ckpt::save(w, stats_.writebacks);
+  ckpt::save(w, stats_.upgrades);
+  ckpt::save(w, stats_.snoop_invalidates);
+  ckpt::save(w, stats_.snoop_interventions);
+  ckpt::save(w, stats_.snoop_pushes);
+  w.u64(lru_clock_);
+  std::uint64_t valid = 0;
+  std::uint32_t crc = 0;
+  for (std::size_t si = 0; si < sets_.size(); ++si) {
+    for (std::size_t way = 0; way < sets_[si].size(); ++way) {
+      const Line& line = sets_[si][way];
+      if (line.state == MesiState::kInvalid) {
+        continue;
+      }
+      ++valid;
+      const std::uint64_t key[4] = {si, way, line.tag, line.lru};
+      crc = sim::crc32(std::as_bytes(std::span(key)), crc);
+      const auto st = static_cast<std::uint8_t>(line.state);
+      crc = sim::crc32(std::as_bytes(std::span(&st, 1)), crc);
+      crc = sim::crc32(std::as_bytes(std::span(line.data)), crc);
+    }
+  }
+  w.u64(valid);
+  w.u32(crc);
 }
 
 }  // namespace sv::mem

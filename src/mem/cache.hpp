@@ -90,6 +90,11 @@ class SnoopingCache : public sim::SimObject, public BusDevice {
   [[nodiscard]] const CacheStats& stats() const { return stats_; }
   [[nodiscard]] std::size_t set_count() const { return sets_.size(); }
 
+  /// Snapshot state: hit/miss/snoop counters and the LRU clock raw, valid
+  /// lines (tag, MESI state, LRU stamp, data) as a CRC-32 digest in
+  /// (set, way) order.
+  void ckpt_save(ckpt::Writer& w) const;
+
   // BusDevice (snooping side):
   [[nodiscard]] std::string_view device_name() const override {
     return name();

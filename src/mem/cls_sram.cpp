@@ -1,6 +1,10 @@
 #include "mem/cls_sram.hpp"
 
+#include <span>
 #include <stdexcept>
+
+#include "ckpt/io.hpp"
+#include "sim/crc32.hpp"
 
 namespace sv::mem {
 
@@ -47,6 +51,12 @@ sim::Co<void> ClsSram::write_state_range(Addr base, Addr size,
   }
   writes_.inc(lines);
   port_.release();
+}
+
+void ClsSram::ckpt_save(ckpt::Writer& w) const {
+  w.u64(writes_.value());
+  w.u64(state_.size());
+  w.u32(sim::crc32(std::as_bytes(std::span(state_))));
 }
 
 }  // namespace sv::mem

@@ -17,6 +17,10 @@
 #include "sim/kernel.hpp"
 #include "sim/stats.hpp"
 
+namespace sv::ckpt {
+class Writer;
+}  // namespace sv::ckpt
+
 namespace sv::mem {
 
 class ClsSram : public sim::SimObject {
@@ -49,6 +53,10 @@ class ClsSram : public sim::SimObject {
 
   [[nodiscard]] const Params& params() const { return params_; }
   [[nodiscard]] const sim::Counter& writes() const { return writes_; }
+
+  /// Snapshot state: write count plus a digest of the full per-line state
+  /// array (the coherence-protocol ground truth for the S-COMA window).
+  void ckpt_save(ckpt::Writer& w) const;
 
  private:
   [[nodiscard]] std::size_t index_of(Addr a) const;

@@ -1,5 +1,7 @@
 #include "mem/dram.hpp"
 
+#include "ckpt/stats_io.hpp"
+
 namespace sv::mem {
 
 DramCtrl::DramCtrl(sim::Kernel& kernel, std::string name, Params params)
@@ -33,6 +35,12 @@ void DramCtrl::bus_write_data(const BusRequest& req,
                               std::span<const std::byte> in) {
   writes_.inc();
   store_.write(req.addr, in);
+}
+
+void DramCtrl::ckpt_save(ckpt::Writer& w) const {
+  ckpt::save(w, reads_);
+  ckpt::save(w, writes_);
+  store_.ckpt_save(w);
 }
 
 }  // namespace sv::mem

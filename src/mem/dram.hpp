@@ -61,6 +61,9 @@ class DramCtrl : public sim::SimObject, public BusDevice {
   [[nodiscard]] const sim::Counter& reads() const { return reads_; }
   [[nodiscard]] const sim::Counter& writes() const { return writes_; }
 
+  /// Snapshot state: access counters raw, contents as the store's digest.
+  void ckpt_save(ckpt::Writer& w) const;
+
  private:
   Params params_;
   BackingStore store_;

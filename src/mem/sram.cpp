@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "ckpt/stats_io.hpp"
+
 namespace sv::mem {
 
 DualPortedSram::DualPortedSram(sim::Kernel& kernel, std::string name,
@@ -32,6 +34,12 @@ void DualPortedSram::write(Addr offset, std::span<const std::byte> in) {
     throw std::out_of_range(name() + ": SRAM write out of range");
   }
   store_.write(offset, in);
+}
+
+void DualPortedSram::ckpt_save(ckpt::Writer& w) const {
+  ckpt::save(w, busy_[0]);
+  ckpt::save(w, busy_[1]);
+  store_.ckpt_save(w);
 }
 
 }  // namespace sv::mem

@@ -53,6 +53,9 @@ class DualPortedSram : public sim::SimObject {
     return busy_[static_cast<int>(port)];
   }
 
+  /// Snapshot state: port busy times plus the bank contents digest.
+  void ckpt_save(ckpt::Writer& w) const;
+
  private:
   Params params_;
   BackingStore store_;

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "ckpt/stats_io.hpp"
 #include "sim/crc32.hpp"
 
 namespace sv::msg {
@@ -282,6 +283,46 @@ std::size_t ReliableChannel::unacked() const {
     n += p.window.size();
   }
   return n;
+}
+
+void ReliableChannel::ckpt_save(ckpt::Writer& w) const {
+  w.u64(tx_.size());
+  for (const auto& [peer, p] : tx_) {
+    w.u32(peer);
+    w.u64(p.next_seq);
+    w.u64(p.nack_resent_for);
+    w.b(p.failed);
+    w.u64(p.window.size());
+    for (const auto& [seq, frame] : p.window) {
+      w.u64(seq);
+      w.u32(sim::crc32(*frame));
+    }
+  }
+  w.u64(rx_.size());
+  for (const auto& [peer, p] : rx_) {
+    w.u32(peer);
+    w.u64(p.expected);
+    w.u64(p.nacked_for);
+    w.u64(p.ready.size());
+    std::uint32_t crc = 0;
+    for (const std::vector<std::byte>& payload : p.ready) {
+      crc = sim::crc32(payload, crc);
+    }
+    w.u32(crc);
+  }
+  ckpt::save(w, stats_.payloads_sent);
+  ckpt::save(w, stats_.payloads_delivered);
+  ckpt::save(w, stats_.frames_sent);
+  ckpt::save(w, stats_.frames_received);
+  ckpt::save(w, stats_.retransmitted);
+  ckpt::save(w, stats_.acks_sent);
+  ckpt::save(w, stats_.nacks_sent);
+  ckpt::save(w, stats_.acks_received);
+  ckpt::save(w, stats_.nacks_received);
+  ckpt::save(w, stats_.duplicates);
+  ckpt::save(w, stats_.out_of_order);
+  ckpt::save(w, stats_.corrupt_rejected);
+  engine_.ckpt_save(w);
 }
 
 }  // namespace sv::msg

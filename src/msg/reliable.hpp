@@ -90,6 +90,13 @@ class ReliableChannel {
   [[nodiscard]] const ReliableStats& stats() const { return stats_; }
   [[nodiscard]] fw::RetransmitEngine& engine() { return engine_; }
 
+  /// Snapshot state: every go-back-N window — per tx peer the next
+  /// sequence, NACK dedup cursor, failed flag and the unacked frames
+  /// (sequence numbers raw, frame bytes as a CRC-32 digest); per rx peer
+  /// the expected sequence, gap-NACK cursor and undelivered ready queue —
+  /// plus all protocol counters and the retransmit engine's timers.
+  void ckpt_save(ckpt::Writer& w) const;
+
  private:
   enum class Kind : std::uint8_t { kData = 1, kAck = 2, kNack = 3 };
 

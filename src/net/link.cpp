@@ -3,6 +3,7 @@
 #include <cassert>
 #include <utility>
 
+#include "ckpt/stats_io.hpp"
 #include "fault/fault.hpp"
 
 namespace sv::net {
@@ -80,6 +81,16 @@ void Link::return_credit(std::uint8_t priority) {
   assert(credits_[priority] < params_.credits_per_priority);
   ++credits_[priority];
   credit_freed_.pulse();
+}
+
+void Link::ckpt_save(ckpt::Writer& w) const {
+  ckpt::save(w, packets_);
+  ckpt::save(w, bytes_);
+  ckpt::save(w, dropped_);
+  ckpt::save(w, busy_);
+  for (const std::uint32_t c : credits_) {
+    w.u32(c);
+  }
 }
 
 }  // namespace sv::net

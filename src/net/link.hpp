@@ -65,6 +65,9 @@ class Link : public sim::SimObject {
   [[nodiscard]] const sim::BusyTracker& busy() const { return busy_; }
   [[nodiscard]] const Params& params() const { return params_; }
 
+  /// Snapshot state: wire counters, busy time, live credit counts.
+  void ckpt_save(ckpt::Writer& w) const;
+
  private:
   Params params_;
   Deliver deliver_;

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "ckpt/stats_io.hpp"
 #include "fault/fault.hpp"
 
 namespace sv::net {
@@ -137,6 +138,18 @@ sim::Co<void> IdealNetwork::inject(Packet pkt) {
 void IdealNetwork::consume_done(sim::NodeId node, std::uint8_t priority) {
   (void)node;
   (void)priority;  // infinite buffering: nothing to return
+}
+
+void Network::ckpt_save(ckpt::Writer& w) const {
+  w.u64(shards_.size());
+  for (const Shard& s : shards_) {
+    ckpt::save(w, s.injected);
+    ckpt::save(w, s.delivered);
+    ckpt::save(w, s.dropped);
+    ckpt::save(w, s.transit);
+    w.u64(s.serial_seq);
+    w.u64(s.post_seq);
+  }
 }
 
 }  // namespace sv::net

@@ -68,6 +68,11 @@ class Network : public sim::SimObject {
   };
   [[nodiscard]] virtual Audit audit() const;
 
+  /// Snapshot state: every shard in node order — packet counters, transit
+  /// histogram, serial and mailbox-post sequences. Call only at a barrier
+  /// (same rule as the aggregated views above).
+  void ckpt_save(ckpt::Writer& w) const;
+
  protected:
   // Per-packet bookkeeping is sharded by node — injection and serial
   // assignment by source, delivery by destination — so each shard is only

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "ckpt/stats_io.hpp"
 #include "niu/block_ops.hpp"
 
 namespace sv::niu {
@@ -862,5 +863,60 @@ void Ctrl::raise_interrupt(std::uint64_t cause) {
 }
 
 void Ctrl::clear_interrupts(std::uint64_t mask) { intr_status_ &= ~mask; }
+
+void Ctrl::ckpt_save(ckpt::Writer& w) const {
+  for (const TxQueueState& q : txq_) {
+    w.b(q.enabled);
+    w.b(q.shutdown);
+    w.b(q.express);
+    w.b(q.raw_allowed);
+    w.b(q.translate);
+    w.u8(static_cast<std::uint8_t>(q.bank));
+    w.u32(q.base);
+    w.u16(q.slots);
+    w.u16(q.slot_bytes);
+    w.u16(q.producer);
+    w.u16(q.consumer);
+    w.u16(q.and_mask);
+    w.u16(q.or_mask);
+    w.u8(q.priority_class);
+  }
+  for (const RxQueueState& q : rxq_) {
+    w.b(q.enabled);
+    w.b(q.express);
+    w.b(q.interrupt_on_arrival);
+    w.u8(static_cast<std::uint8_t>(q.bank));
+    w.u32(q.base);
+    w.u16(q.slots);
+    w.u16(q.slot_bytes);
+    w.u16(q.producer);
+    w.u16(q.consumer);
+    w.u8(static_cast<std::uint8_t>(q.full_policy));
+    w.u16(q.logical);
+  }
+  for (const unsigned rr : tx_rr_) {
+    w.u32(rr);
+  }
+  w.u64(flow_seq_);
+  w.u32(cmds_in_flight_);
+  w.u64(intr_status_);
+  ckpt::save(w, stats_.msgs_launched);
+  ckpt::save(w, stats_.msgs_received);
+  ckpt::save(w, stats_.express_pushed);
+  ckpt::save(w, stats_.express_popped);
+  ckpt::save(w, stats_.rx_hits);
+  ckpt::save(w, stats_.rx_misses);
+  ckpt::save(w, stats_.rx_dropped);
+  ckpt::save(w, stats_.rx_held_ps);
+  ckpt::save(w, stats_.cmds_local);
+  ckpt::save(w, stats_.cmds_remote);
+  ckpt::save(w, stats_.cmds_immediate);
+  ckpt::save(w, stats_.protection_violations);
+  ckpt::save(w, stats_.xlat_lookups);
+  ckpt::save(w, stats_.block_reads);
+  ckpt::save(w, stats_.block_txs);
+  ckpt::save(w, stats_.block_xfers);
+  ckpt::save(w, stats_.ibus_busy);
+}
 
 }  // namespace sv::niu

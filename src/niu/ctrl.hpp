@@ -193,6 +193,12 @@ class Ctrl : public sim::SimObject {
   [[nodiscard]] CtrlStats& stats() { return stats_; }
   [[nodiscard]] const CtrlStats& stats() const { return stats_; }
 
+  /// Snapshot state: every tx/rx hardware queue's control block (enable /
+  /// shutdown flags, free-running producer/consumer counters, binding),
+  /// the per-class round-robin cursors, flow-id sequence, interrupt status
+  /// and all CTRL counters (DESIGN.md §14).
+  void ckpt_save(ckpt::Writer& w) const;
+
   /// Shut down tx queue `q` (protection machinery): the queue stops
   /// launching, the shutdown status register bit is set and a protection
   /// interrupt is raised. Also the surface for the reliable-delivery

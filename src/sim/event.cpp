@@ -5,6 +5,8 @@
 #include <cassert>
 #include <utility>
 
+#include "ckpt/io.hpp"
+
 namespace sv::sim {
 
 EventQueue::EventQueue() : buckets_(kBuckets) {
@@ -221,6 +223,49 @@ EventQueue::Popped EventQueue::try_pop(Tick bound) {
   floor_ = p.when;
   heap_.pop();
   return p;
+}
+
+void EventQueue::ckpt_save(ckpt::Writer& w) const {
+  w.tick(floor_);
+  w.u64(next_seq_);
+  // Collect every pending key: wheel bucket tails plus the far heap. The
+  // heap's internal layout is an implementation detail, so keys are
+  // emitted in (when, seq) dispatch order — the canonical form a replayed
+  // queue must reproduce exactly.
+  struct Key {
+    Tick when;
+    std::uint64_t seq;
+    bool operator<(const Key& o) const {
+      return when != o.when ? when < o.when : seq < o.seq;
+    }
+  };
+  std::vector<Key> keys;
+  keys.reserve(size());
+  for (const Bucket& b : buckets_) {
+    for (std::size_t i = b.head; i < b.items.size(); ++i) {
+      keys.push_back(Key{b.items[i].when, b.items[i].seq});
+    }
+  }
+  // priority_queue hides its container; a derived type can still name the
+  // protected member `c` to read it without popping (and without copying
+  // the move-only callbacks a real pop would disturb).
+  struct Expose : std::priority_queue<HeapRec, std::vector<HeapRec>,
+                                      std::greater<>> {
+    static const std::vector<HeapRec>& container(
+        const std::priority_queue<HeapRec, std::vector<HeapRec>,
+                                  std::greater<>>& q) {
+      return q.*&Expose::c;
+    }
+  };
+  for (const HeapRec& h : Expose::container(heap_)) {
+    keys.push_back(Key{h.when, h.seq});
+  }
+  std::sort(keys.begin(), keys.end());
+  w.u64(keys.size());
+  for (const Key& k : keys) {
+    w.tick(k.when);
+    w.u64(k.seq);
+  }
 }
 
 }  // namespace sv::sim

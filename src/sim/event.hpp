@@ -25,6 +25,10 @@
 #include "sim/inline_func.hpp"
 #include "sim/types.hpp"
 
+namespace sv::ckpt {
+class Writer;
+}  // namespace sv::ckpt
+
 namespace sv::sim {
 
 class EventQueue {
@@ -116,6 +120,14 @@ class EventQueue {
   /// happen at the same program points in both), which is why the stats
   /// dump reports it (DESIGN.md §12).
   [[nodiscard]] std::uint64_t total_scheduled() const { return next_seq_; }
+
+  /// Append the queue's snapshot state to `w`: floor, next sequence number
+  /// (which encodes reserved-sequence holes — a reserved-but-unused key
+  /// advances next_seq_ with no matching pending event), and every pending
+  /// (when, seq) key in dispatch order. The callbacks themselves are
+  /// closures and are not serialized; restore re-creates them by replaying
+  /// the run, then byte-compares this chunk (DESIGN.md §14).
+  void ckpt_save(ckpt::Writer& w) const;
 
  private:
   struct Rec {

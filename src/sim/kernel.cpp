@@ -1,6 +1,9 @@
 #include "sim/kernel.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+
+#include "ckpt/io.hpp"
 
 namespace sv::sim {
 
@@ -106,5 +109,42 @@ Tick Kernel::run_until(Tick t) {
 }
 
 bool Kernel::step() { return dispatch_one(kTickInvalid); }
+
+void Kernel::ckpt_save(ckpt::Writer& w) const {
+  w.tick(now_);
+  w.u64(executed_);
+  events_.ckpt_save(w);
+  // Mailbox keys in canonical (when, src, seq) order. The callbacks are
+  // closures and restore by replay, like the event queue's. staged_ is
+  // intentionally not captured: at an epoch barrier it has been committed
+  // and is empty.
+  struct Expose : Mailbox {
+    static const std::vector<CrossMsg>& container(const Mailbox& q) {
+      return q.*&Expose::c;
+    }
+  };
+  struct Key {
+    Tick when;
+    std::uint32_t src;
+    std::uint64_t seq;
+    bool operator<(const Key& o) const {
+      if (when != o.when) {
+        return when < o.when;
+      }
+      return src != o.src ? src < o.src : seq < o.seq;
+    }
+  };
+  std::vector<Key> keys;
+  for (const CrossMsg& m : Expose::container(mailbox_)) {
+    keys.push_back(Key{m.when, m.src, m.seq});
+  }
+  std::sort(keys.begin(), keys.end());
+  w.u64(keys.size());
+  for (const Key& k : keys) {
+    w.tick(k.when);
+    w.u32(k.src);
+    w.u64(k.seq);
+  }
+}
 
 }  // namespace sv::sim

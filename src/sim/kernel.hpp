@@ -29,6 +29,10 @@
 #include "sim/event.hpp"
 #include "sim/types.hpp"
 
+namespace sv::ckpt {
+class Writer;
+}  // namespace sv::ckpt
+
 namespace sv::trace {
 class Tracer;
 }  // namespace sv::trace
@@ -156,6 +160,13 @@ class Kernel {
   /// check is the entire disabled-path cost.
   [[nodiscard]] fault::Injector* fault_injector() const { return fault_; }
   void set_fault_injector(fault::Injector* fault) { fault_ = fault; }
+
+  /// Append the domain's snapshot state to `w`: clock, dispatch counters,
+  /// the event queue's pending keys (EventQueue::ckpt_save), and every
+  /// pending cross-domain mailbox key in (when, src, seq) order. Must be
+  /// called while no event is executing and staged_ is empty — i.e. at an
+  /// epoch boundary (DESIGN.md §14).
+  void ckpt_save(ckpt::Writer& w) const;
 
  private:
   struct CrossMsg {

@@ -60,6 +60,20 @@ class Rng {
 
   bool chance(double p) { return uniform() < p; }
 
+  /// Raw xoshiro state, for checkpointing: a restored stream continues the
+  /// exact draw sequence of the saved one (DESIGN.md §14).
+  struct State {
+    std::uint64_t s[4];
+  };
+  [[nodiscard]] State state() const {
+    return {{state_[0], state_[1], state_[2], state_[3]}};
+  }
+  void set_state(const State& st) {
+    for (int i = 0; i < 4; ++i) {
+      state_[i] = st.s[i];
+    }
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));

@@ -1,0 +1,270 @@
+// Scenario-explorer properties (DESIGN.md §14): against synthetic
+// scenarios with planted violations the search must return exactly the
+// known-minimal drop pattern (fewest drops, lexicographically first), and
+// against clean scenarios it must prove the bound exhaustively with a
+// predictable number of simulated runs. The real reliable-ring scenario
+// is then pinned: within the explored bound no drop pattern breaks the
+// channel's exactly-once / in-order / give-up contract — if a future
+// change to msg::ReliableChannel introduces a liveness or ordering bug,
+// this suite both fails and prints the minimal counterexample pattern
+// that reproduces it.
+//
+// Deep searches (the committed-corpus exploration) honour
+// SV_EXPLORER_QUICK: when set, they skip — that is the "--quick" lane CI
+// uses under sanitizers, where each simulated run is several times
+// slower.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "ckpt/explore.hpp"
+#include "ckpt/scenario.hpp"
+
+namespace sv {
+namespace {
+
+bool quick_mode() { return std::getenv("SV_EXPLORER_QUICK") != nullptr; }
+
+bool contains(const std::vector<std::uint64_t>& v, std::uint64_t x) {
+  return std::find(v.begin(), v.end(), x) != v.end();
+}
+
+/// Distinct deterministic hash per pattern, so state-dedup never merges
+/// two different synthetic trajectories.
+std::uint64_t pattern_hash(const std::vector<std::uint64_t>& v) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const std::uint64_t x : v) {
+    h = (h ^ (x + 1)) * 0x100000001b3ull;
+  }
+  return h;
+}
+
+TEST(ExplorerTest, FindsSeededMinimalPair) {
+  // Violation iff both opportunities 2 and 5 are dropped: neither single
+  // drop trips it, so the minimal pattern has cardinality 2 and the
+  // search must return exactly {2, 5}.
+  const ckpt::ScenarioFn fn =
+      [](const std::vector<std::uint64_t>& drops) {
+        ckpt::ScenarioResult r;
+        r.opportunities = 8;
+        r.state_hash = pattern_hash(drops);
+        if (contains(drops, 2) && contains(drops, 5)) {
+          r.violation = true;
+          r.detail = "planted double-drop violation";
+        }
+        return r;
+      };
+  ckpt::ExploreParams p;
+  p.max_drops = 2;
+  const ckpt::ExploreResult res = ckpt::explore(fn, p);
+  EXPECT_TRUE(res.found);
+  EXPECT_FALSE(res.baseline_violation);
+  EXPECT_FALSE(res.exhausted);
+  EXPECT_EQ(res.minimal, (std::vector<std::uint64_t>{2, 5}));
+  EXPECT_EQ(res.detail, "planted double-drop violation");
+}
+
+TEST(ExplorerTest, MinimalIsLexicographicallyFirst) {
+  // Two independent single-drop violations: the lower index wins.
+  const ckpt::ScenarioFn fn =
+      [](const std::vector<std::uint64_t>& drops) {
+        ckpt::ScenarioResult r;
+        r.opportunities = 8;
+        r.state_hash = pattern_hash(drops);
+        r.violation = contains(drops, 3) || contains(drops, 6);
+        return r;
+      };
+  ckpt::ExploreParams p;
+  p.max_drops = 2;
+  const ckpt::ExploreResult res = ckpt::explore(fn, p);
+  EXPECT_TRUE(res.found);
+  EXPECT_EQ(res.minimal, (std::vector<std::uint64_t>{3}));
+}
+
+TEST(ExplorerTest, ProvesCleanBoundExhaustively) {
+  // No violation anywhere, 4 opportunities, bound 2: the proof costs
+  // exactly 1 baseline + 4 singles + C(4,2)=6 pairs = 11 runs (the
+  // iterative deepening re-visits singles from the pattern cache, not
+  // the simulator).
+  std::uint64_t calls = 0;
+  const ckpt::ScenarioFn fn =
+      [&calls](const std::vector<std::uint64_t>& drops) {
+        ++calls;
+        ckpt::ScenarioResult r;
+        r.opportunities = 4;
+        r.state_hash = pattern_hash(drops);
+        return r;
+      };
+  ckpt::ExploreParams p;
+  p.max_drops = 2;
+  const ckpt::ExploreResult res = ckpt::explore(fn, p);
+  EXPECT_FALSE(res.found);
+  EXPECT_TRUE(res.exhausted);
+  EXPECT_EQ(res.runs, 11u);
+  EXPECT_EQ(calls, res.runs) << "cache failed to absorb re-visits";
+  // Extending {3} has no candidate below the horizon of 4.
+  EXPECT_GE(res.pruned_horizon, 1u);
+}
+
+TEST(ExplorerTest, BaselineViolationShortCircuits) {
+  const ckpt::ScenarioFn fn = [](const std::vector<std::uint64_t>&) {
+    ckpt::ScenarioResult r;
+    r.opportunities = 100;
+    r.violation = true;
+    r.detail = "broken without any drops";
+    return r;
+  };
+  ckpt::ExploreParams p;
+  const ckpt::ExploreResult res = ckpt::explore(fn, p);
+  EXPECT_TRUE(res.found);
+  EXPECT_TRUE(res.baseline_violation);
+  EXPECT_TRUE(res.minimal.empty());
+  EXPECT_EQ(res.runs, 1u);
+}
+
+TEST(ExplorerTest, RunBudgetStopsWithoutClaimingProof) {
+  const ckpt::ScenarioFn fn = [](const std::vector<std::uint64_t>& drops) {
+    ckpt::ScenarioResult r;
+    r.opportunities = 64;
+    r.state_hash = pattern_hash(drops);
+    return r;
+  };
+  ckpt::ExploreParams p;
+  p.max_drops = 2;
+  p.max_runs = 3;
+  const ckpt::ExploreResult res = ckpt::explore(fn, p);
+  EXPECT_FALSE(res.found);
+  EXPECT_FALSE(res.exhausted) << "out-of-budget search must not claim a proof";
+  EXPECT_EQ(res.runs, 3u);
+}
+
+TEST(ExplorerTest, MaxOpportunitiesCapsTheHorizon) {
+  std::uint64_t max_index_seen = 0;
+  const ckpt::ScenarioFn fn =
+      [&max_index_seen](const std::vector<std::uint64_t>& drops) {
+        for (const std::uint64_t d : drops) {
+          max_index_seen = std::max(max_index_seen, d);
+        }
+        ckpt::ScenarioResult r;
+        r.opportunities = 1000;
+        r.state_hash = pattern_hash(drops);
+        return r;
+      };
+  ckpt::ExploreParams p;
+  p.max_drops = 1;
+  p.max_opportunities = 5;
+  const ckpt::ExploreResult res = ckpt::explore(fn, p);
+  EXPECT_TRUE(res.exhausted);
+  EXPECT_EQ(res.runs, 6u);  // baseline + indices 0..4
+  EXPECT_EQ(max_index_seen, 4u);
+}
+
+TEST(ExplorerTest, StateHashDedupPrunesEquivalentSubtrees) {
+  // A constant state hash asserts every prefix reaches the same machine
+  // state, so subtrees sharing (hash, first-candidate) are explored once.
+  const ckpt::ScenarioFn fn = [](const std::vector<std::uint64_t>&) {
+    ckpt::ScenarioResult r;
+    r.opportunities = 4;
+    r.state_hash = 42;
+    return r;
+  };
+  ckpt::ExploreParams p;
+  p.max_drops = 3;
+  const ckpt::ExploreResult res = ckpt::explore(fn, p);
+  EXPECT_TRUE(res.exhausted);
+  EXPECT_GT(res.pruned_dedup, 0u);
+  // Without dedup the proof costs 1 + 4 + 6 + 4 = 15 runs.
+  EXPECT_LT(res.runs, 15u);
+}
+
+// --- The real reliable-ring scenario. These searches simulate the full
+// machine per candidate pattern, so the specs stay deliberately small.
+
+ckpt::RingSpec small_ring() {
+  ckpt::RingSpec spec;
+  spec.nodes = 2;
+  spec.count = 4;
+  spec.bytes = 16;
+  spec.window = 4;
+  spec.timeout_us = 20;
+  spec.give_up = 4;
+  spec.deadline_ms = 20;
+  return spec;
+}
+
+TEST(ExplorerTest, ReliableRingBaselineIsClean) {
+  const ckpt::ScenarioResult res =
+      ckpt::run_reliable_ring(small_ring(), {});
+  EXPECT_FALSE(res.violation) << res.detail;
+  EXPECT_GT(res.opportunities, 0u);
+  EXPECT_NE(res.state_hash, 0u);
+}
+
+TEST(ExplorerTest, ReliableRingSingleDropBoundProven) {
+  // Pinned regression for msg::ReliableChannel's contract: within the
+  // single-drop bound, every placement either recovers (retransmit) or
+  // declares failure (give-up) — the exploration proved no liveness or
+  // ordering violation exists, and this test keeps that proof true. A
+  // regression prints the minimal counterexample pattern via `detail`.
+  ckpt::ExploreParams p;
+  p.max_drops = 1;
+  p.max_runs = 500;
+  const ckpt::ExploreResult res =
+      ckpt::explore(ckpt::reliable_ring_scenario(small_ring()), p);
+  EXPECT_FALSE(res.found) << "minimal violating pattern: " << res.detail;
+  EXPECT_TRUE(res.exhausted);
+  EXPECT_GT(res.runs, 1u);
+}
+
+TEST(ExplorerTest, CheckpointResumeExploresOnlyTheSuffix) {
+  ckpt::RingSpec spec = small_ring();
+  spec.count = 6;
+  const ckpt::Snapshot snap =
+      ckpt::checkpoint_reliable_ring(spec, 2 * sim::kMicrosecond);
+  EXPECT_GE(snap.tick, 2 * sim::kMicrosecond);
+  EXPECT_NE(snap.config.find("base_opp="), std::string::npos)
+      << "checkpoint must record the opportunity base";
+
+  // A resumed run replays to the capture tick and byte-verifies against
+  // the snapshot before continuing (run_reliable_ring throws on any
+  // divergence), with drop indices interpreted relative to the base.
+  const ckpt::ScenarioResult baseline =
+      ckpt::run_reliable_ring(spec, {}, &snap);
+  EXPECT_FALSE(baseline.violation) << baseline.detail;
+
+  ckpt::ExploreParams p;
+  p.max_drops = 1;
+  p.max_runs = 500;
+  const ckpt::ExploreResult res = ckpt::explore(
+      ckpt::reliable_ring_scenario(spec, &snap), p);
+  EXPECT_FALSE(res.found) << "minimal violating pattern: " << res.detail;
+  EXPECT_TRUE(res.exhausted);
+  // The suffix horizon is strictly smaller than the whole run's.
+  EXPECT_LT(baseline.opportunities,
+            ckpt::run_reliable_ring(spec, {}).opportunities);
+}
+
+TEST(ExplorerTest, CommittedCorpusExplorationReproduces) {
+  if (quick_mode()) {
+    GTEST_SKIP() << "SV_EXPLORER_QUICK set: skipping deep corpus search";
+  }
+  // The committed checkpoint (tests/ckpt/reliable_ring.svck) is the
+  // published starting point for `svexplore --snapshot=...`; the proof it
+  // yields must reproduce on every machine, every build.
+  const ckpt::Snapshot snap = ckpt::Snapshot::load_file(
+      std::string(SV_CKPT_DIR) + "/reliable_ring.svck");
+  const ckpt::RingSpec spec = ckpt::RingSpec::from_config(snap.config);
+  ckpt::ExploreParams p;
+  p.max_drops = 1;
+  p.max_runs = 2000;
+  const ckpt::ExploreResult res = ckpt::explore(
+      ckpt::reliable_ring_scenario(spec, &snap), p);
+  EXPECT_FALSE(res.found) << "minimal violating pattern: " << res.detail;
+  EXPECT_TRUE(res.exhausted);
+}
+
+}  // namespace
+}  // namespace sv

@@ -21,6 +21,7 @@
 #include "fault/fault.hpp"
 #include "msg/reliable.hpp"
 #include "sys/stats_dump.hpp"
+#include "tests/ckpt_util.hpp"
 #include "tests/test_util.hpp"
 
 namespace sv {
@@ -100,6 +101,51 @@ TEST(FaultMatrixTest, ZeroRatePlanCreatesNoInjector) {
   EXPECT_FALSE(fault::Plan{}.enabled());
   sys::Machine machine(test::small_machine_params(2));
   EXPECT_EQ(machine.fault_injector(), nullptr);
+}
+
+TEST(FaultMatrixTest, CheckpointPreservesInjectorCursorsBitIdentically) {
+  // Mid-run checkpoint under the full fault matrix: the snapshot's
+  // "fault" chunk records every lane's six raw RNG stream words plus the
+  // per-category decision cursors, and a fresh machine replayed to the
+  // same epoch boundary must land on the identical bytes — the injector's
+  // schedule position survives restore bit for bit, which is what makes
+  // the matrix replayable across a checkpoint.
+  test::RunSpec spec;
+  spec.workload = test::Workload::kReliable;
+  spec.nodes = 4;
+  spec.net = sys::Machine::NetKind::kFatTree;
+  spec.fault = full_matrix_plan(base_seed());
+  spec.count = 25;
+  spec.bytes = 48;
+  spec.retransmit_timeout = 20 * sim::kMicrosecond;
+
+  test::SteppableRun a(spec);
+  const ckpt::Snapshot snap = a.capture_at(30 * sim::kMicrosecond);
+  ASSERT_NE(a.machine.fault_injector(), nullptr);
+  const std::vector<std::byte>* fault_chunk = snap.find("fault");
+  ASSERT_NE(fault_chunk, nullptr);
+  ASSERT_FALSE(fault_chunk->empty());
+  // The matrix must have fired before the capture, or the cursor check
+  // is vacuous.
+  EXPECT_GT(a.machine.fault_injector()->drop_opportunities(), 0u);
+
+  test::SteppableRun b(spec);
+  const ckpt::Snapshot replay = b.capture_at(snap.tick);
+  ASSERT_EQ(replay.tick, snap.tick);
+  const std::vector<std::byte>* replay_chunk = replay.find("fault");
+  ASSERT_NE(replay_chunk, nullptr);
+  EXPECT_EQ(*replay_chunk, *fault_chunk)
+      << "injector RNG streams / cursors diverged across restore";
+  try {
+    ckpt::Snapshot::verify(snap, replay);
+  } catch (const ckpt::Error& e) {
+    ADD_FAILURE() << e.what();
+  }
+
+  // Both machines ride the same fault schedule to the end.
+  a.finish();
+  b.finish();
+  EXPECT_EQ(a.stats_json(), b.stats_json());
 }
 
 TEST(FaultMatrixTest, GiveUpSurfacesAsTxQueueShutdown) {

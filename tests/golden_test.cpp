@@ -19,6 +19,7 @@
 #include "sim/crc32.hpp"
 #include "sys/stats_dump.hpp"
 #include "tests/app_util.hpp"
+#include "tests/ckpt_util.hpp"
 #include "tests/test_util.hpp"
 #include "xfer/approaches.hpp"
 
@@ -141,6 +142,36 @@ TEST(GoldenStats, ExtReliableUnderLoss) {
   const auto res = test::run_machine_and_dump_stats(spec);
   ASSERT_TRUE(res.completed);
   check_golden("ext_reliable_4node", res.stats_json);
+}
+
+TEST(GoldenStats, ExtReliableRestored) {
+  // A checkpointed-and-restored run pinned to the same corpus bytes as
+  // any uninterrupted run would produce (DESIGN.md §14): the machine is
+  // snapshotted mid-flight, a second machine replays to the capture tick,
+  // byte-verifies against the snapshot, then finishes — and its stats
+  // must match this corpus entry forever after.
+  test::RunSpec spec;
+  spec.workload = test::Workload::kReliable;
+  spec.nodes = 4;
+  spec.count = 12;
+  spec.bytes = 48;
+  spec.fault.seed = sim::Rng::kDefaultSeed;
+  spec.fault.drop_rate = 0.05;
+  spec.fault.corrupt_rate = 0.05;
+  spec.net = sys::Machine::NetKind::kFatTree;
+
+  test::SteppableRun original(spec);
+  const ckpt::Snapshot snap = original.capture_at(20 * sim::kMicrosecond);
+
+  test::SteppableRun restored(spec);
+  const ckpt::Snapshot replay = restored.capture_at(snap.tick);
+  try {
+    ckpt::Snapshot::verify(snap, replay);
+  } catch (const ckpt::Error& e) {
+    FAIL() << e.what();
+  }
+  restored.finish();
+  check_golden("ext_reliable_restored", restored.stats_json());
 }
 
 // --- Application runtime (Ext-P): one entry per shipped app, each over

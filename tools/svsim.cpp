@@ -43,6 +43,18 @@
 //   fault.rx_overflow_rate=P fault.seed=N (see fault::Plan::from_config).
 //   Unreliable workloads will typically time out or hang under drops; the
 //   `reliable` workload and reliable-transport app.* workloads recover.
+//
+// Checkpointing (DESIGN.md §14):
+//   --checkpoint-at=TICK [--checkpoint-out=FILE]   snapshot at the first
+//       epoch boundary at/after TICK (picoseconds), then keep running
+//   --checkpoint-every=TICKS [--checkpoint-out=PREFIX]   periodic
+//       snapshots PREFIX.<tick>.svck — the raw material for bisecting a
+//       failing tick range (EXPERIMENTS.md Ext-Q)
+//   --restore=FILE   rebuild the run from the snapshot's embedded config,
+//       replay to its capture tick, byte-verify every component chunk
+//       against the file, then continue to completion. Extra key=value
+//       args are rejected: the snapshot is the configuration.
+//   (key=value spellings ckpt.at / ckpt.every / ckpt.out also work.)
 #include <cstdio>
 #include <cstring>
 #include <functional>
@@ -51,6 +63,7 @@
 #include <vector>
 
 #include "app/apps.hpp"
+#include "ckpt/capture.hpp"
 #include "msg/dma.hpp"
 #include "msg/reliable.hpp"
 #include "shm/numa_region.hpp"
@@ -108,18 +121,100 @@ class Harness {
     });
   }
 
+  /// App workloads register their World so its runtime state rides along
+  /// in every capture; restore mode registers the loaded snapshot so the
+  /// replay is byte-verified at the capture tick.
+  void set_world(const app::World* world) { world_ = world; }
+  void set_restore(const ckpt::Snapshot* snap) { restore_ = snap; }
+  void set_workload(std::string name) { workload_ = std::move(name); }
+
   /// Drive the machine until `ready`; on deadline expiry prints the
-  /// timeout diagnostic and returns false.
+  /// timeout diagnostic and returns false. Pauses at every scheduled
+  /// checkpoint/verify tick on the way (epoch boundaries, so the pause
+  /// points — and the snapshots — are identical for every threads=).
   bool drive(const std::function<bool()>& ready) {
     t0_ = machine_.now();
     const sim::Tick deadline =
         machine_.now() +
         cfg_.get_u64("deadline_ms", 2000) * sim::kMillisecond;
+
+    const auto at = cfg_.get_u64("ckpt.at", 0);
+    const auto every = cfg_.get_u64("ckpt.every", 0);
+    sim::Tick next_save = at != 0 ? at : (every != 0 ? every : 0);
+    sim::Tick verify_at = restore_ != nullptr ? restore_->tick : 0;
+
+    while (true) {
+      sim::Tick stop = 0;  // 0 = no pause pending
+      if (next_save != 0) {
+        stop = next_save;
+      }
+      if (verify_at != 0 && (stop == 0 || verify_at < stop)) {
+        stop = verify_at;
+      }
+      if (stop == 0) {
+        break;
+      }
+      machine_.run_epochs_until(
+          [&] { return ready() || machine_.now() >= stop; }, deadline);
+      if (machine_.now() < stop) {
+        break;  // workload finished (or deadline hit) before the tick
+      }
+      if (verify_at != 0 && machine_.now() >= verify_at) {
+        try {
+          ckpt::Snapshot::verify(*restore_, capture());
+        } catch (const std::exception& e) {
+          std::fprintf(stderr, "svsim: restore verify FAILED: %s\n",
+                       e.what());
+          return false;
+        }
+        std::printf("restore: replayed to tick %llu, %zu chunks verified "
+                    "byte-identical\n",
+                    static_cast<unsigned long long>(restore_->tick),
+                    restore_->chunks().size());
+        verify_at = 0;
+      }
+      if (next_save != 0 && machine_.now() >= next_save) {
+        save_checkpoint();
+        next_save = every != 0 ? machine_.now() + every : 0;
+      }
+    }
+
     if (!sys::run_until(machine_, ready, deadline)) {
       std::fprintf(stderr, "svsim: timed out\n");
       return false;
     }
     return true;
+  }
+
+  /// The run configuration a snapshot embeds: the workload name plus every
+  /// key=value except the ckpt.* directives themselves (a restored run
+  /// must not re-checkpoint).
+  [[nodiscard]] std::string config_text() const {
+    std::string out = "workload=" + workload_ + "\n";
+    for (const auto& [key, value] : cfg_.all()) {
+      if (key.rfind("ckpt.", 0) == 0) {
+        continue;
+      }
+      out += key + "=" + value + "\n";
+    }
+    return out;
+  }
+
+  [[nodiscard]] ckpt::Snapshot capture() const {
+    return ckpt::capture(machine_, config_text(), world_);
+  }
+
+  void save_checkpoint() const {
+    const auto every = cfg_.get_u64("ckpt.every", 0);
+    std::string path = cfg_.get_string("ckpt.out", "svsim.svck");
+    if (every != 0) {
+      path += "." + std::to_string(machine_.now()) + ".svck";
+    }
+    const ckpt::Snapshot snap = capture();
+    snap.save_file(path);
+    std::printf("checkpoint: tick %llu, %zu chunks -> %s\n",
+                static_cast<unsigned long long>(snap.tick),
+                snap.chunks().size(), path.c_str());
   }
 
   /// Simulated microseconds between the last drive() start and now.
@@ -155,6 +250,9 @@ class Harness {
   std::vector<std::uint8_t> done_;
   sim::Tick t0_ = 0;
   bool stats_dumped_ = false;
+  std::string workload_;
+  const app::World* world_ = nullptr;
+  const ckpt::Snapshot* restore_ = nullptr;
 };
 
 int run_msg(Harness& h, const sim::Config& cfg, bool express) {
@@ -462,6 +560,7 @@ int run_app(Harness& h, const sim::Config& cfg, const std::string& name) {
 
   app::World world(machine, wp);
   world.launch(program);
+  h.set_world(&world);
   if (!h.drive([&] { return world.done(); })) {
     return 1;
   }
@@ -479,18 +578,90 @@ int run_app(Harness& h, const sim::Config& cfg, const std::string& name) {
 
 }  // namespace
 
+namespace {
+
+/// Translate the --checkpoint-*/--restore spellings into their ckpt.*
+/// config keys; returns the restore path ("" = none).
+std::string translate_ckpt_args(std::vector<std::string>& args) {
+  std::string restore;
+  for (auto& a : args) {
+    for (const auto& [flag, key] :
+         {std::pair<const char*, const char*>{"--checkpoint-at=", "ckpt.at="},
+          {"--checkpoint-every=", "ckpt.every="},
+          {"--checkpoint-out=", "ckpt.out="}}) {
+      if (a.rfind(flag, 0) == 0) {
+        a = key + a.substr(std::strlen(flag));
+      }
+    }
+    if (a.rfind("--restore=", 0) == 0) {
+      restore = a.substr(std::strlen("--restore="));
+      a = "ckpt.restore=1";  // placeholder; stripped from snapshots anyway
+    }
+  }
+  return restore;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: svsim <msg|express|xfer|dma|scoma|numa|reliable|"
-                 "app.stencil|app.allreduce|app.kv> [key=value ...]\n");
+                 "app.stencil|app.allreduce|app.kv> [key=value ...]\n"
+                 "       svsim --restore=FILE\n");
     return 2;
   }
-  const std::string workload = argv[1];
+  std::string workload = argv[1];
   std::vector<std::string> args(argv + 2, argv + argc);
+  if (workload.rfind("--", 0) == 0) {
+    args.insert(args.begin(), workload);
+    workload.clear();
+  }
+  const std::string restore_path = translate_ckpt_args(args);
+
   sim::Config cfg;
+  ckpt::Snapshot restored;
   try {
-    cfg = sim::Config::from_args(args);
+    if (!restore_path.empty()) {
+      // The snapshot is the configuration: workload and every key come
+      // from its embedded config text, one key=value (or workload=) line
+      // each. Anything else on the command line would silently fork the
+      // replay from the original run, so extra args are rejected.
+      for (const auto& a : args) {
+        if (a != "ckpt.restore=1") {
+          throw std::runtime_error("--restore takes no other arguments");
+        }
+      }
+      restored = ckpt::Snapshot::load_file(restore_path);
+      std::vector<std::string> lines;
+      std::size_t pos = 0;
+      while (pos < restored.config.size()) {
+        const std::size_t nl = restored.config.find('\n', pos);
+        const std::size_t end =
+            nl == std::string::npos ? restored.config.size() : nl;
+        if (end > pos) {
+          lines.push_back(restored.config.substr(pos, end - pos));
+        }
+        pos = end + 1;
+      }
+      for (auto& line : lines) {
+        if (line.rfind("workload=", 0) == 0) {
+          workload = line.substr(std::strlen("workload="));
+          line = lines.back();
+          lines.pop_back();
+          break;
+        }
+      }
+      cfg = sim::Config::from_args(lines);
+      if (workload.empty()) {
+        throw std::runtime_error("snapshot config names no workload");
+      }
+    } else {
+      if (workload.empty()) {
+        throw std::runtime_error("no workload given");
+      }
+      cfg = sim::Config::from_args(args);
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "svsim: %s\n", e.what());
     return 2;
@@ -512,6 +683,10 @@ int main(int argc, char** argv) {
   }
 
   Harness harness(machine, cfg);
+  harness.set_workload(workload);
+  if (!restore_path.empty()) {
+    harness.set_restore(&restored);
+  }
   int rc = 2;
   if (workload == "msg") {
     rc = run_msg(harness, cfg, false);
