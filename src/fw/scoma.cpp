@@ -63,12 +63,21 @@ void ScomaEngine::enable_hw_miss_send() {
 }
 
 void ScomaEngine::init_cls() {
-  auto& cls = sbiu_.ctrl().cls();
-  for (mem::Addr a = params_.base; a < params_.base + params_.size;
-       a += mem::kLineBytes) {
-    cls.poke(a, home_of(a) == node() ? niu::ABiu::kClsReadWrite
-                                     : niu::ABiu::kClsInvalid);
-  }
+  // O(1) regardless of region size: install the home-ownership map as the
+  // SRAM's power-on default instead of poking every line. Everything is
+  // value-captured (home_of is pure in these params), so the function
+  // outlives the engine if teardown order ever changes.
+  const mem::Addr base = params_.base;
+  const mem::Addr page = params_.page_bytes;
+  const std::size_t num_nodes = params_.num_nodes;
+  const sim::NodeId self = node();
+  sbiu_.ctrl().cls().set_default(
+      [base, page, num_nodes, self](mem::Addr a) -> std::uint8_t {
+        const auto home =
+            static_cast<sim::NodeId>(((a - base) / page) % num_nodes);
+        return home == self ? niu::ABiu::kClsReadWrite
+                            : niu::ABiu::kClsInvalid;
+      });
 }
 
 ScomaEngine::Dir& ScomaEngine::dir_of(mem::Addr line) {

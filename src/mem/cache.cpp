@@ -32,10 +32,11 @@ SnoopingCache::SnoopingCache(sim::Kernel& kernel, std::string name,
       op_mutex_(kernel, 1) {
   const std::size_t lines = params_.size_bytes / kLineBytes;
   const std::size_t num_sets = std::max<std::size_t>(1, lines / params_.ways);
+  // Sets materialize lazily (see materialize_set): a 512KB cache is ~0.75MB
+  // of Line storage, which dominates an idle node's footprint at scale. An
+  // empty set reads as all-invalid everywhere (find_line and ckpt_save
+  // iterate what exists), so laziness is invisible to behavior and digests.
   sets_.resize(num_sets);
-  for (auto& set : sets_) {
-    set.resize(params_.ways);
-  }
 }
 
 std::size_t SnoopingCache::set_index(Addr addr) const {
@@ -71,6 +72,7 @@ const SnoopingCache::Line* SnoopingCache::find_line(Addr addr) const {
 }
 
 SnoopingCache::Line& SnoopingCache::choose_victim(std::size_t set) {
+  materialize_set(set);
   Line* victim = nullptr;
   for (Line& line : sets_[set]) {
     if (line.state == MesiState::kInvalid) {

@@ -90,6 +90,17 @@ class SnoopingCache : public sim::SimObject, public BusDevice {
   [[nodiscard]] const CacheStats& stats() const { return stats_; }
   [[nodiscard]] std::size_t set_count() const { return sets_.size(); }
 
+  /// Sets whose way storage exists (fills materialize a set on first
+  /// touch). An untouched cache reports 0 — the scale memory tests pin
+  /// the idle-node footprint on this.
+  [[nodiscard]] std::size_t sets_materialized() const {
+    std::size_t n = 0;
+    for (const Set& s : sets_) {
+      n += s.empty() ? 0 : 1;
+    }
+    return n;
+  }
+
   /// Snapshot state: hit/miss/snoop counters and the LRU clock raw, valid
   /// lines (tag, MESI state, LRU stamp, data) as a CRC-32 digest in
   /// (set, way) order.
@@ -171,6 +182,13 @@ class SnoopingCache : public sim::SimObject, public BusDevice {
   using Set = std::vector<Line>;
 
   [[nodiscard]] std::size_t set_index(Addr addr) const;
+  /// Allocate a set's ways on first line-creating access. All lines start
+  /// invalid, which is indistinguishable from the set never existing.
+  void materialize_set(std::size_t set) {
+    if (sets_[set].empty()) {
+      sets_[set].resize(params_.ways);
+    }
+  }
   [[nodiscard]] Line* find_line(Addr addr);
   [[nodiscard]] const Line* find_line(Addr addr) const;
   Line& choose_victim(std::size_t set);

@@ -11,7 +11,8 @@ namespace sv::mem {
 ClsSram::ClsSram(sim::Kernel& kernel, std::string name, Params params)
     : sim::SimObject(kernel, std::move(name)),
       params_(params),
-      state_(params.region_size / kLineBytes, 0),
+      lines_(params.region_size / kLineBytes),
+      chunks_((lines_ + kChunkLines - 1) / kChunkLines),
       port_(kernel, 1) {}
 
 std::size_t ClsSram::index_of(Addr a) const {
@@ -21,12 +22,38 @@ std::size_t ClsSram::index_of(Addr a) const {
   return static_cast<std::size_t>((a - params_.region_base) / kLineBytes);
 }
 
+ClsSram::Chunk& ClsSram::materialize_chunk(std::size_t c) {
+  if (!chunks_[c]) {
+    chunks_[c] = std::make_unique<Chunk>();
+    const std::size_t base = c * kChunkLines;
+    const std::size_t n = std::min(kChunkLines, lines_ - base);
+    for (std::size_t i = 0; i < n; ++i) {
+      (*chunks_[c])[i] = default_of(base + i);
+    }
+  }
+  return *chunks_[c];
+}
+
+void ClsSram::set_default(std::function<std::uint8_t(Addr)> fn) {
+  default_fn_ = std::move(fn);
+  for (auto& c : chunks_) {
+    c.reset();
+  }
+}
+
 std::uint8_t ClsSram::peek(Addr a) const {
-  return state_[index_of(a)];
+  const std::size_t line = index_of(a);
+  const auto& chunk = chunks_[line / kChunkLines];
+  return chunk ? (*chunk)[line % kChunkLines] : default_of(line);
 }
 
 void ClsSram::poke(Addr a, std::uint8_t bits) {
-  state_[index_of(a)] = bits & 0x0F;
+  const std::size_t line = index_of(a);
+  bits &= 0x0F;
+  if (!chunks_[line / kChunkLines] && bits == default_of(line)) {
+    return;  // already reads back as `bits`: keep the chunk virtual
+  }
+  materialize_chunk(line / kChunkLines)[line % kChunkLines] = bits;
 }
 
 sim::Co<void> ClsSram::write_state(Addr a, std::uint8_t bits) {
@@ -55,8 +82,27 @@ sim::Co<void> ClsSram::write_state_range(Addr base, Addr size,
 
 void ClsSram::ckpt_save(ckpt::Writer& w) const {
   w.u64(writes_.value());
-  w.u64(state_.size());
-  w.u32(sim::crc32(std::as_bytes(std::span(state_))));
+  w.u64(lines_);
+  // Digest the *effective* array — materialized chunks as stored, virtual
+  // chunks expanded through the default function — in index order, so the
+  // digest is byte-identical to the old eagerly-allocated layout.
+  std::uint32_t crc = 0;
+  Chunk scratch;
+  for (std::size_t c = 0; c < chunks_.size(); ++c) {
+    const std::size_t base = c * kChunkLines;
+    const std::size_t n = std::min(kChunkLines, lines_ - base);
+    const std::uint8_t* bytes;
+    if (chunks_[c]) {
+      bytes = chunks_[c]->data();
+    } else {
+      for (std::size_t i = 0; i < n; ++i) {
+        scratch[i] = default_of(base + i);
+      }
+      bytes = scratch.data();
+    }
+    crc = sim::crc32(std::as_bytes(std::span(bytes, n)), crc);
+  }
+  w.u32(crc);
 }
 
 }  // namespace sv::mem

@@ -8,7 +8,10 @@
 // {retry, pass-to-sP} decisions.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "mem/backing_store.hpp"
@@ -45,6 +48,24 @@ class ClsSram : public sim::SimObject {
   /// Functional write (used by tests and for initialization).
   void poke(Addr a, std::uint8_t bits);
 
+  /// Install the power-on value of every line as a pure function of its
+  /// address, discarding any prior pokes. This is how firmware "writes the
+  /// whole SRAM" in O(1): storage stays empty and only lines later poked
+  /// to a different value materialize (per 4KB chunk). The function must
+  /// stay valid for the SRAM's lifetime and return 4-bit values —
+  /// value-capture what it needs.
+  void set_default(std::function<std::uint8_t(Addr)> fn);
+
+  /// Chunks whose backing bytes exist (pokes materialize chunks on first
+  /// divergence from the default). Scale memory tests pin idle cost here.
+  [[nodiscard]] std::size_t chunks_materialized() const {
+    std::size_t n = 0;
+    for (const auto& c : chunks_) {
+      n += c ? 1 : 0;
+    }
+    return n;
+  }
+
   /// Timed write through the single port (used by aBIU/CTRL commands).
   sim::Co<void> write_state(Addr a, std::uint8_t bits);
 
@@ -59,10 +80,30 @@ class ClsSram : public sim::SimObject {
   void ckpt_save(ckpt::Writer& w) const;
 
  private:
+  /// Lines per materialized chunk (4KB of state bytes).
+  static constexpr std::size_t kChunkLines = 4096;
+  using Chunk = std::array<std::uint8_t, kChunkLines>;
+
   [[nodiscard]] std::size_t index_of(Addr a) const;
+  [[nodiscard]] std::uint8_t default_of(std::size_t line) const {
+    return default_fn_
+               ? static_cast<std::uint8_t>(
+                     default_fn_(params_.region_base +
+                                 static_cast<Addr>(line) * kLineBytes) &
+                     0x0F)
+               : 0;
+  }
+  /// Allocate chunk c and fill it with each line's default value.
+  Chunk& materialize_chunk(std::size_t c);
 
   Params params_;
-  std::vector<std::uint8_t> state_;
+  std::size_t lines_;  // region_size / kLineBytes
+  /// Sparse state: chunks_[i] covers lines [i*kChunkLines, ...); a null
+  /// chunk reads as the default function applied per line. The effective
+  /// array (and therefore the checkpoint digest) is identical to the old
+  /// eagerly-allocated vector.
+  std::vector<std::unique_ptr<Chunk>> chunks_;
+  std::function<std::uint8_t(Addr)> default_fn_;
   sim::Semaphore port_;
   sim::Counter writes_;
 };

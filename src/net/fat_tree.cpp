@@ -6,49 +6,21 @@
 
 namespace sv::net {
 
-namespace {
-
-unsigned levels_for(std::size_t nodes, unsigned radix) {
-  unsigned n = 1;
-  std::uint64_t cap = radix;
-  while (cap < nodes) {
-    cap *= radix;
-    ++n;
-  }
-  return n;
-}
-
-std::uint64_t ipow(std::uint64_t base, unsigned exp) {
-  std::uint64_t r = 1;
-  while (exp-- > 0) {
-    r *= base;
-  }
-  return r;
-}
-
-}  // namespace
-
 FatTreeNetwork::FatTreeNetwork(sim::Kernel& kernel, std::string name,
                                Params params)
-    : Network(kernel, std::move(name), params.nodes), params_(params) {
-  if (params_.nodes == 0) {
-    throw std::invalid_argument("FatTreeNetwork: zero nodes");
-  }
-  if (params_.radix < 2) {
-    throw std::invalid_argument("FatTreeNetwork: radix must be >= 2");
-  }
+    : Network(kernel, std::move(name), params.nodes),
+      params_(params),
+      topo_(FatTreeTopology::make(params.nodes, params.radix)) {
   const unsigned k = params_.radix;
-  levels_ = levels_for(params_.nodes, k);
-  routers_per_level_ = ipow(k, levels_ - 1);
 
   endpoints_.resize(params_.nodes);
   inject_links_.resize(params_.nodes, nullptr);
   eject_links_.resize(params_.nodes, nullptr);
 
   // Create routers. Port convention: 0..k-1 down, k..2k-1 up.
-  routers_.reserve(levels_ * routers_per_level_);
-  for (unsigned l = 0; l < levels_; ++l) {
-    for (std::uint64_t w = 0; w < routers_per_level_; ++w) {
+  routers_.reserve(topo_.router_count());
+  for (unsigned l = 0; l < topo_.levels; ++l) {
+    for (std::uint64_t w = 0; w < topo_.routers_per_level; ++w) {
       Router::Params rp;
       rp.num_inputs = 2 * k;
       rp.num_outputs = 2 * k;
@@ -58,7 +30,7 @@ FatTreeNetwork::FatTreeNetwork(sim::Kernel& kernel, std::string name,
       // fault schedule each router sees replays from the seed alone.
       rp.fault_lane = static_cast<std::uint32_t>(routers_.size());
       auto route = [this, l, w](const Packet& p) {
-        return route_at(l, w, p);
+        return topo_.route_port(l, w, p.dest);
       };
       routers_.push_back(std::make_unique<Router>(
           kernel_, this->name() + ".r" + std::to_string(l) + "_" +
@@ -71,7 +43,7 @@ FatTreeNetwork::FatTreeNetwork(sim::Kernel& kernel, std::string name,
   for (sim::NodeId node = 0; node < params_.nodes; ++node) {
     const std::uint64_t w = node / k;
     const unsigned port = node % k;
-    Router* leaf = routers_[router_index(0, w)].get();
+    Router* leaf = routers_[topo_.router_index(0, w)].get();
 
     Link* up = new_link("inj" + std::to_string(node));
     up->set_sink([leaf, port](Packet&& p) { leaf->receive(port, std::move(p)); });
@@ -90,13 +62,13 @@ FatTreeNetwork::FatTreeNetwork(sim::Kernel& kernel, std::string name,
 
   // Inter-level links: <l, w> up port c  <->  <l+1, w[l->c]> down port
   // digit_l(w), one link per direction.
-  for (unsigned l = 0; l + 1 < levels_; ++l) {
-    for (std::uint64_t w = 0; w < routers_per_level_; ++w) {
-      Router* lo = routers_[router_index(l, w)].get();
+  for (unsigned l = 0; l + 1 < topo_.levels; ++l) {
+    for (std::uint64_t w = 0; w < topo_.routers_per_level; ++w) {
+      Router* lo = routers_[topo_.router_index(l, w)].get();
       for (unsigned c = 0; c < k; ++c) {
-        const std::uint64_t w_hi = set_digit(w, l, c);
-        const unsigned hi_port = digit(w, l);
-        Router* hi = routers_[router_index(l + 1, w_hi)].get();
+        const std::uint64_t w_hi = topo_.set_digit(w, l, c);
+        const unsigned hi_port = topo_.digit(w, l);
+        Router* hi = routers_[topo_.router_index(l + 1, w_hi)].get();
 
         Link* up = new_link("u" + std::to_string(l) + "_" +
                             std::to_string(w) + "_" + std::to_string(c));
@@ -126,55 +98,6 @@ Link* FatTreeNetwork::new_link(std::string link_name) {
   links_.push_back(std::make_unique<Link>(
       kernel_, name() + "." + std::move(link_name), lp));
   return links_.back().get();
-}
-
-unsigned FatTreeNetwork::digit(std::uint64_t x, unsigned i) const {
-  return static_cast<unsigned>(x / ipow(params_.radix, i) % params_.radix);
-}
-
-std::uint64_t FatTreeNetwork::set_digit(std::uint64_t x, unsigned i,
-                                        unsigned v) const {
-  const std::uint64_t p = ipow(params_.radix, i);
-  const unsigned old = digit(x, i);
-  return x + (static_cast<std::uint64_t>(v) - old) * p;
-}
-
-std::size_t FatTreeNetwork::router_index(unsigned level,
-                                         std::uint64_t w) const {
-  return level * routers_per_level_ + w;
-}
-
-unsigned FatTreeNetwork::route_at(unsigned level, std::uint64_t w,
-                                  const Packet& pkt) const {
-  const unsigned k = params_.radix;
-  const std::uint64_t d = pkt.dest;
-  // Ancestor iff digits [level .. n-2] of w equal digits [level+1 .. n-1]
-  // of the destination node address.
-  bool ancestor = true;
-  for (unsigned i = level; i + 1 < levels_; ++i) {
-    if (digit(w, i) != digit(d, i + 1)) {
-      ancestor = false;
-      break;
-    }
-  }
-  if (ancestor) {
-    return digit(d, level);  // down port
-  }
-  return k + digit(d, level);  // up port (deterministic spread)
-}
-
-unsigned FatTreeNetwork::hops(sim::NodeId src, sim::NodeId dst) const {
-  if (src == dst) {
-    return 1;
-  }
-  // Lowest common ancestor level: the highest differing address digit.
-  unsigned lca = 0;
-  for (unsigned i = 0; i < levels_; ++i) {
-    if (digit(src, i) != digit(dst, i)) {
-      lca = i;
-    }
-  }
-  return 2 * lca + 1;  // up lca routers, through the top one, down lca
 }
 
 void FatTreeNetwork::set_endpoint(sim::NodeId node, Deliver deliver) {

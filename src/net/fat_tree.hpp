@@ -14,6 +14,7 @@
 #include "net/link.hpp"
 #include "net/network.hpp"
 #include "net/router.hpp"
+#include "net/topology.hpp"
 
 namespace sv::net {
 
@@ -39,29 +40,24 @@ class FatTreeNetwork final : public Network {
   /// Base counts plus fault drops summed over every link in the fabric.
   [[nodiscard]] Audit audit() const override;
 
-  // Topology introspection (tests, reporting).
-  [[nodiscard]] unsigned levels() const { return levels_; }
+  // Topology introspection (tests, reporting). The arithmetic lives in
+  // FatTreeTopology so it can be property-checked without a network.
+  [[nodiscard]] const FatTreeTopology& topology() const { return topo_; }
+  [[nodiscard]] unsigned levels() const { return topo_.levels; }
   [[nodiscard]] std::size_t router_count() const { return routers_.size(); }
   [[nodiscard]] std::size_t link_count() const { return links_.size(); }
   /// Router hops a packet from src to dst traverses.
-  [[nodiscard]] unsigned hops(sim::NodeId src, sim::NodeId dst) const;
+  [[nodiscard]] unsigned hops(sim::NodeId src, sim::NodeId dst) const {
+    return topo_.hops(src, dst);
+  }
 
   [[nodiscard]] const Params& params() const { return params_; }
 
  private:
-  [[nodiscard]] unsigned digit(std::uint64_t x, unsigned i) const;
-  [[nodiscard]] std::uint64_t set_digit(std::uint64_t x, unsigned i,
-                                        unsigned v) const;
-  [[nodiscard]] std::size_t router_index(unsigned level,
-                                         std::uint64_t w) const;
-  [[nodiscard]] unsigned route_at(unsigned level, std::uint64_t w,
-                                  const Packet& pkt) const;
-
   Link* new_link(std::string name);
 
   Params params_;
-  unsigned levels_ = 1;                 // n
-  std::uint64_t routers_per_level_ = 1; // k^(n-1)
+  FatTreeTopology topo_;
   std::vector<std::unique_ptr<Router>> routers_;
   std::vector<std::unique_ptr<Link>> links_;
   std::vector<Link*> inject_links_;  // node -> leaf router

@@ -1,0 +1,134 @@
+// Pure k-ary n-tree arithmetic, factored out of FatTreeNetwork so the
+// topology can be reasoned about — and property-tested at 1024 endpoints
+// with several radixes — without constructing a single router or link.
+//
+// Geometry (standard k-ary n-tree, the Arctic fabric's shape): k^n
+// endpoints, n levels of k^(n-1) routers. A level-l router and a
+// level-(l+1) router are linked iff their (n-1)-digit base-k indices agree
+// everywhere except digit l. Router ports follow the network's convention:
+// 0..k-1 down, k..2k-1 up. Routing is up*/down*: climb to the lowest
+// common ancestor (deterministic up-port choice), then descend along the
+// destination's digits.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+
+#include "sim/types.hpp"
+
+namespace sv::net {
+
+struct FatTreeTopology {
+  std::size_t nodes = 0;
+  unsigned radix = 0;                    // k
+  unsigned levels = 0;                   // n
+  std::uint64_t routers_per_level = 0;   // k^(n-1)
+
+  static constexpr std::uint64_t ipow(std::uint64_t base, unsigned exp) {
+    std::uint64_t r = 1;
+    while (exp-- > 0) {
+      r *= base;
+    }
+    return r;
+  }
+
+  /// Smallest n with k^n >= nodes (the tree is sized up to the next full
+  /// power of k; surplus leaf ports simply go unpopulated).
+  static constexpr unsigned levels_for(std::size_t nodes, unsigned radix) {
+    unsigned n = 1;
+    std::uint64_t cap = radix;
+    while (cap < nodes) {
+      cap *= radix;
+      ++n;
+    }
+    return n;
+  }
+
+  static FatTreeTopology make(std::size_t nodes, unsigned radix) {
+    if (nodes == 0) {
+      throw std::invalid_argument("FatTreeTopology: zero nodes");
+    }
+    if (radix < 2) {
+      throw std::invalid_argument("FatTreeTopology: radix must be >= 2");
+    }
+    FatTreeTopology t;
+    t.nodes = nodes;
+    t.radix = radix;
+    t.levels = levels_for(nodes, radix);
+    t.routers_per_level = ipow(radix, t.levels - 1);
+    return t;
+  }
+
+  [[nodiscard]] constexpr unsigned digit(std::uint64_t x, unsigned i) const {
+    return static_cast<unsigned>(x / ipow(radix, i) % radix);
+  }
+
+  [[nodiscard]] constexpr std::uint64_t set_digit(std::uint64_t x, unsigned i,
+                                                  unsigned v) const {
+    const std::uint64_t p = ipow(radix, i);
+    const unsigned old = digit(x, i);
+    return x + (static_cast<std::uint64_t>(v) - old) * p;
+  }
+
+  [[nodiscard]] constexpr std::size_t router_index(unsigned level,
+                                                   std::uint64_t w) const {
+    return level * routers_per_level + w;
+  }
+
+  /// True when router <level, w> is an ancestor of endpoint `d`: digits
+  /// [level .. n-2] of w equal digits [level+1 .. n-1] of d.
+  [[nodiscard]] constexpr bool is_ancestor(unsigned level, std::uint64_t w,
+                                           std::uint64_t d) const {
+    for (unsigned i = level; i + 1 < levels; ++i) {
+      if (digit(w, i) != digit(d, i + 1)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// Output port router <level, w> forwards a packet for endpoint `dest`
+  /// to: a down port once the router is an ancestor of the destination,
+  /// else the deterministic up port keyed by the destination digit.
+  [[nodiscard]] constexpr unsigned route_port(unsigned level, std::uint64_t w,
+                                              std::uint64_t dest) const {
+    if (is_ancestor(level, w, dest)) {
+      return digit(dest, level);  // down port
+    }
+    return radix + digit(dest, level);  // up port (deterministic spread)
+  }
+
+  /// Router hops on the src -> dst path: up to the LCA level, through that
+  /// router, back down — 2*lca + 1 (1 for the self loop through the leaf).
+  [[nodiscard]] constexpr unsigned hops(sim::NodeId src,
+                                        sim::NodeId dst) const {
+    if (src == dst) {
+      return 1;
+    }
+    unsigned lca = 0;
+    for (unsigned i = 0; i < levels; ++i) {
+      if (digit(src, i) != digit(dst, i)) {
+        lca = i;
+      }
+    }
+    return 2 * lca + 1;
+  }
+
+  // Closed-form element counts, matched against the constructed network by
+  // fat_tree_property_test: n levels of k^(n-1) routers; one inject and
+  // one eject link per endpoint, plus one link per direction per
+  // (level, router, up-port) pair between adjacent levels.
+  [[nodiscard]] constexpr std::size_t router_count() const {
+    return static_cast<std::size_t>(levels) * routers_per_level;
+  }
+  [[nodiscard]] constexpr std::size_t routers_at_level(unsigned level) const {
+    return level < levels ? routers_per_level : 0;
+  }
+  [[nodiscard]] constexpr std::size_t link_count() const {
+    return 2 * nodes +
+           2ull * radix * routers_per_level * (levels - 1);
+  }
+};
+
+}  // namespace sv::net

@@ -25,8 +25,17 @@ void Kernel::schedule_at_seq(Tick when, std::uint64_t seq,
 void Kernel::post(Tick when, std::uint32_t src, std::uint64_t seq,
                   EventQueue::Callback fn) {
   if (deferred_mailbox_) {
-    const std::lock_guard<std::mutex> lock(staged_mu_);
-    staged_.push_back(CrossMsg{when, src, seq, std::move(fn)});
+    bool was_empty;
+    {
+      const std::lock_guard<std::mutex> lock(staged_mu_);
+      was_empty = staged_.empty();
+      staged_.push_back(CrossMsg{when, src, seq, std::move(fn)});
+    }
+    // First arrival since the last commit: tell the coordinator (outside
+    // staged_mu_, so its own lock never nests under ours).
+    if (was_empty && post_notify_) {
+      post_notify_();
+    }
     return;
   }
   mailbox_.push(CrossMsg{when, src, seq, std::move(fn)});

@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <queue>
 #include <string>
@@ -108,6 +109,16 @@ class Kernel {
   /// calls commit_mailbox() at a barrier. Immediate mode (the default,
   /// sequential execution): post() files messages directly.
   void set_deferred_mailbox(bool on) { deferred_mailbox_ = on; }
+
+  /// Arrival hook for the O(active-domains) barrier: in deferred mode,
+  /// `fn` fires once per staged_ empty-to-nonempty transition — i.e. at
+  /// most once between commits — telling the epoch coordinator this
+  /// domain has mail and must be committed and woken at the next barrier.
+  /// Called from whichever worker thread posted, outside staged_mu_; the
+  /// callee must do its own locking.
+  void set_post_notify(std::function<void()> fn) {
+    post_notify_ = std::move(fn);
+  }
 
   /// Move staged messages into the runnable mailbox. Call only while no
   /// worker is executing this domain (i.e. at an epoch barrier).
@@ -199,6 +210,7 @@ class Kernel {
   Mailbox mailbox_;
   std::vector<CrossMsg> staged_;
   std::mutex staged_mu_;
+  std::function<void()> post_notify_;
   bool deferred_mailbox_ = false;
   Tick now_ = 0;
   std::uint64_t current_seq_ = 0;

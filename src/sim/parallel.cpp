@@ -14,8 +14,19 @@ ParallelKernel::ParallelKernel(std::vector<Kernel*> domains, unsigned threads,
   if (lookahead_ == 0) {
     throw std::invalid_argument("ParallelKernel: lookahead must be >= 1");
   }
-  for (Kernel* d : domains_) {
-    d->set_deferred_mailbox(true);
+  active_.reserve(domains_.size());
+  woken_.reserve(domains_.size());
+  for (std::size_t d = 0; d < domains_.size(); ++d) {
+    domains_[d]->set_deferred_mailbox(true);
+    domains_[d]->set_post_notify([this, d] {
+      // At most one firing per domain per epoch (the staged buffer only
+      // empties at a barrier), so the wake list needs no deduplication.
+      const std::lock_guard<std::mutex> lock(wake_mu_);
+      woken_.push_back(d);
+    });
+    // Everyone starts active: nodes schedule their service loops during
+    // construction, and a truly idle domain parks after the first epoch.
+    active_.push_back(d);
   }
   const unsigned n = std::clamp<unsigned>(
       threads, 1U, static_cast<unsigned>(domains_.size()));
@@ -47,13 +58,18 @@ void ParallelKernel::worker_main(unsigned id) {
       }
       seen = generation_;
     }
-    // Outside the lock: each worker owns a fixed, disjoint set of domains,
-    // and the bound was published under mu_ before generation_ bumped.
+    // Outside the lock: workers partition the active list by the fixed
+    // rule "domain d runs on worker d % threads" — the same assignment
+    // the run-everything scheme used, so any per-thread effect stays
+    // reproducible — and active_/epoch_end_ were published under mu_
+    // before generation_ bumped.
     std::exception_ptr err;
     try {
       const std::size_t stride = workers_.size();
-      for (std::size_t d = id; d < domains_.size(); d += stride) {
-        domains_[d]->run_until(epoch_end_);
+      for (const std::size_t d : active_) {
+        if (d % stride == id) {
+          domains_[d]->run_until(epoch_end_);
+        }
       }
     } catch (...) {
       err = std::current_exception();
@@ -85,34 +101,83 @@ void ParallelKernel::run_epoch() {
     }
   }
   // All workers are parked (the wait above is the happens-before edge), so
-  // the coordinator may touch every domain.
-  for (Kernel* d : domains_) {
-    d->commit_mailbox();
+  // the coordinator may touch every domain. Only domains that ran this
+  // epoch or received mail can have changed state: commit exactly those
+  // mailboxes and rebuild the active list from them — O(active + woken),
+  // never O(domains).
+  std::vector<std::size_t> woken;
+  {
+    const std::lock_guard<std::mutex> lock(wake_mu_);
+    woken.swap(woken_);
   }
+  std::sort(woken.begin(), woken.end());
+
+  std::vector<std::size_t> next;
+  next.reserve(active_.size() + woken.size());
+  auto a = active_.begin();
+  auto w = woken.begin();
+  const auto visit = [&](std::size_t d) {
+    domains_[d]->commit_mailbox();
+    if (!domains_[d]->idle()) {
+      next.push_back(d);
+    }
+  };
+  while (a != active_.end() || w != woken.end()) {
+    if (w == woken.end() || (a != active_.end() && *a <= *w)) {
+      if (w != woken.end() && *w == *a) {
+        ++w;  // active domain that also got mail: visit once
+      }
+      visit(*a++);
+    } else {
+      visit(*w++);
+    }
+  }
+  active_.swap(next);
+
   now_ = epoch_end_;
   epoch_start_ += lookahead_;
 }
 
-bool ParallelKernel::idle() const {
-  return std::all_of(domains_.begin(), domains_.end(),
-                     [](const Kernel* d) { return d->idle(); });
+void ParallelKernel::quiesce() {
+  for (Kernel* d : domains_) {
+    if (d->now() < now_) {
+      // Parked domains are idle by construction, so this only advances
+      // the clock and the event wheel — no events can run.
+      d->run_until(now_);
+    }
+  }
 }
 
 bool ParallelKernel::run_epochs_until(const std::function<bool()>& pred,
                                       Tick deadline) {
+  // Between calls, callers may have scheduled work directly onto a parked
+  // domain's kernel (drivers starting coroutines do exactly that) — the
+  // post-notify hook only covers cross-domain post(). One O(domains)
+  // rescan per call (not per epoch) re-admits them; mid-run, parked
+  // domains are only ever reachable via post(), which the hook covers.
+  active_.clear();
+  for (std::size_t d = 0; d < domains_.size(); ++d) {
+    if (!domains_[d]->idle()) {
+      active_.push_back(d);
+    }
+  }
+  const auto finish = [this](bool result) {
+    quiesce();
+    return result;
+  };
   if (pred()) {
-    return true;
+    return finish(true);
   }
   while (epoch_start_ <= deadline) {
     run_epoch();
     if (pred()) {
-      return true;
+      return finish(true);
     }
     if (idle()) {
-      return false;
+      return finish(false);
     }
   }
-  return false;
+  return finish(false);
 }
 
 }  // namespace sv::sim

@@ -9,7 +9,11 @@
 // 1e-6 us and full precision survives).
 #pragma once
 
+#include <cstdint>
+#include <map>
 #include <ostream>
+#include <string>
+#include <vector>
 
 #include "sim/types.hpp"
 #include "trace/trace.hpp"
@@ -20,6 +24,70 @@ struct ChromeWriteOptions {
   /// Simulation end time, recorded in otherData.sim_now_ps so analyzers
   /// use the same occupancy denominator as the StatRegistry dump.
   sim::Tick sim_now = 0;
+};
+
+/// Streaming Chrome JSON emitter: a TraceSink that writes each event the
+/// moment it is recorded, so a trace of any length costs bounded memory —
+/// the ring only needs to cover whatever other consumers (golden dumps)
+/// still want, and nothing is lost to overwrites in the streamed file.
+///
+/// Differences from the batch writer, both invisible to viewers: process
+/// and lane metadata is emitted when a lane first carries an event (the
+/// batch writer names every registered lane up front), and otherData
+/// moves to the end of the file, after the counts it reports are known.
+/// Flow arrows still need every hop of a flow before the s/t/f phases can
+/// be assigned, so pending flows are the one retained state; the table is
+/// bounded — past `max_pending_flows`, the oldest flow's chain is flushed
+/// as-is and further hops for it start a new chain.
+struct ChromeStreamOptions {
+  std::size_t max_pending_flows = std::size_t{1} << 16;
+};
+
+class ChromeStreamSink : public TraceSink {
+ public:
+  using Options = ChromeStreamOptions;
+
+  /// `os` must outlive the sink. The JSON header is written immediately.
+  explicit ChromeStreamSink(std::ostream& os, Options options = {});
+
+  void on_event(const Tracer& tracer, const Event& e) override;
+
+  /// Flush pending flow arrows and close the JSON document. Call exactly
+  /// once, after the last event; further on_event calls are an error.
+  void finish(sim::Tick sim_now);
+
+  [[nodiscard]] std::uint64_t events_written() const {
+    return events_written_;
+  }
+  /// Flows flushed early because the pending table hit its bound.
+  [[nodiscard]] std::uint64_t flows_evicted() const { return flows_evicted_; }
+
+ private:
+  struct TrackAddr {
+    int pid = 0;
+    int tid = 0;
+  };
+  struct FlowHop {
+    sim::Tick ts;
+    int pid;
+    int tid;
+  };
+
+  /// Lazily assign (pid, tid) and emit naming metadata for a track.
+  const TrackAddr& ensure_track(const Tracer& tracer, TrackId id);
+  std::ostream& sep();
+  void flush_flow(std::uint64_t id, const std::vector<FlowHop>& hops);
+
+  std::ostream& os_;
+  Options options_;
+  bool first_ = true;
+  bool finished_ = false;
+  std::map<std::string, int> pids_;
+  std::map<int, int> next_tid_;
+  std::vector<TrackAddr> addr_;  // indexed by TrackId; pid 0 = unseen
+  std::map<std::uint64_t, std::vector<FlowHop>> flows_;
+  std::uint64_t events_written_ = 0;
+  std::uint64_t flows_evicted_ = 0;
 };
 
 void write_chrome_trace(const Tracer& tracer, std::ostream& os,

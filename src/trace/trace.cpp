@@ -69,6 +69,9 @@ void Tracer::clear() {
 
 void Tracer::push(Event e) {
   ++recorded_;
+  if (sink_ != nullptr) {
+    sink_->on_event(*this, e);
+  }
   if (ring_.size() < capacity_) {
     ring_.push_back(std::move(e));
     return;

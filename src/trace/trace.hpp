@@ -50,6 +50,19 @@ struct Event {
   std::string name;
 };
 
+class Tracer;
+
+/// Receives every event a Tracer records, at record time. A sink makes
+/// long traces bounded-memory: events stream out (to disk, typically) as
+/// they happen instead of accumulating in the ring, so the ring can stay
+/// small without losing history to overwrites. The tracer reference gives
+/// the sink access to the track table for the event's lane names.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void on_event(const Tracer& tracer, const Event& e) = 0;
+};
+
 class Tracer {
  public:
   static constexpr std::size_t kDefaultCapacity = std::size_t{1} << 20;
@@ -101,9 +114,16 @@ class Tracer {
 
   void clear();
 
+  /// Attach (or detach, with nullptr) a streaming sink. The sink sees
+  /// every subsequent event in record order, before it enters the ring;
+  /// it must outlive the attachment.
+  void set_sink(TraceSink* sink) { sink_ = sink; }
+  [[nodiscard]] TraceSink* sink() const { return sink_; }
+
  private:
   void push(Event e);
 
+  TraceSink* sink_ = nullptr;
   bool enabled_ = true;
   std::size_t capacity_;
   std::vector<Event> ring_;

@@ -132,6 +132,20 @@ TEST(CkptReplayTest, PartitionedCaptureIsThreadCountInvariant) {
   }
 }
 
+TEST(CkptReplayTest, LargeMachineReplays256) {
+  // The scaling work (O(active-domain) barrier, sharded stats, lazy node
+  // state) must not perturb capture/replay: a 256-node machine restores
+  // and replays byte-identically under the same oracle as the 4-node
+  // sweeps, sequential and partitioned.
+  for (const unsigned threads : {0u, 4u}) {
+    SCOPED_TRACE(::testing::Message() << "threads=" << threads);
+    test::RunSpec spec = base_spec(test::Workload::kMsg, threads, true);
+    spec.nodes = 256;
+    spec.count = 2;
+    expect_replay_identical(spec, 2 * sim::kMicrosecond);
+  }
+}
+
 TEST(CkptReplayTest, TraceSpansByteIdentical) {
   // A checkpointed-then-continued run and an uninterrupted run emit the
   // same golden trace, byte for byte — capture is observation only.

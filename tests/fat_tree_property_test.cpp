@@ -1,0 +1,220 @@
+// Property tests for the k-ary n-tree at scale: LCA routing correctness,
+// hop-count symmetry and bounds, up*/down* deadlock freedom, closed-form
+// router/link counts against real construction, and loss-free permutation
+// traffic audited at 256/512/1024 endpoints.
+//
+// The pure-arithmetic properties (FatTreeTopology) run at every size and
+// radix unconditionally — no routers are built. Tests that construct or
+// drive a real FatTreeNetwork gate their largest instances behind
+// SV_SCALE_SLOW=1 so the default CI lane stays fast.
+#include <cstdlib>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/fat_tree.hpp"
+#include "net/topology.hpp"
+#include "sim/coro.hpp"
+#include "sim/kernel.hpp"
+#include "tests/test_util.hpp"
+
+namespace sv::net {
+namespace {
+
+Packet make_packet(sim::NodeId src, sim::NodeId dest, std::size_t bytes) {
+  Packet p;
+  p.src = src;
+  p.dest = dest;
+  p.dest_queue = 1;
+  p.priority = kPriorityLow;
+  p.payload.resize(bytes);
+  return p;
+}
+
+bool scale_slow() {
+  const char* v = std::getenv("SV_SCALE_SLOW");
+  return v != nullptr && v[0] == '1';
+}
+
+const std::size_t kSizes[] = {256, 512, 1024};
+const unsigned kRadixes[] = {2, 4, 8};
+
+/// Deterministic sample of endpoint pairs covering near (same leaf) and
+/// far (top-of-tree) traffic: strided sources against strided + bit-mixed
+/// destinations. ~4k pairs per (size, radix) instance.
+std::vector<std::pair<sim::NodeId, sim::NodeId>> sample_pairs(
+    std::size_t nodes) {
+  std::vector<std::pair<sim::NodeId, sim::NodeId>> out;
+  const std::size_t stride = nodes / 64 == 0 ? 1 : nodes / 64;
+  for (std::size_t s = 0; s < nodes; s += stride) {
+    for (std::size_t d = 0; d < nodes; d += stride) {
+      out.emplace_back(static_cast<sim::NodeId>(s),
+                       static_cast<sim::NodeId>(d));
+    }
+    out.emplace_back(static_cast<sim::NodeId>(s),
+                     static_cast<sim::NodeId>(s));  // self
+    out.emplace_back(static_cast<sim::NodeId>(s),
+                     static_cast<sim::NodeId>(nodes - 1 - s));  // mirror
+  }
+  return out;
+}
+
+TEST(FatTreeProperty, RoutingWalksReachTheDestination) {
+  for (const std::size_t nodes : kSizes) {
+    for (const unsigned k : kRadixes) {
+      const FatTreeTopology t = FatTreeTopology::make(nodes, k);
+      for (const auto& [src, dst] : sample_pairs(nodes)) {
+        // Walk the route_port decisions from the source's leaf router.
+        // `w` tracks the router's within-level index; going up through
+        // up-port k+c replaces digit l with c, going down through port p
+        // moves to the child whose level-(l-1) index restores digit
+        // (l-1) of w — mirroring the link wiring in fat_tree.cpp.
+        unsigned level = 0;
+        std::uint64_t w = src / k;
+        unsigned hops = 1;
+        bool descending = false;
+        while (true) {
+          const unsigned port = t.route_port(level, w, dst);
+          if (port < k) {
+            // Down. Deadlock freedom: a descent never turns back up.
+            descending = true;
+            if (level == 0) {
+              EXPECT_EQ(w, dst / k);
+              EXPECT_EQ(port, dst % k);
+              break;
+            }
+            --level;
+            w = t.set_digit(w, level, port);
+          } else {
+            ASSERT_FALSE(descending)
+                << "up after down: src=" << src << " dst=" << dst;
+            ASSERT_LT(level + 1, t.levels) << "climbed past the top";
+            w = t.set_digit(w, level, port - k);
+            ++level;
+          }
+          ++hops;
+          ASSERT_LE(hops, 2 * t.levels) << "routing loop";
+        }
+        EXPECT_EQ(hops, t.hops(src, dst))
+            << "src=" << src << " dst=" << dst << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(FatTreeProperty, HopsSymmetricAndBounded) {
+  for (const std::size_t nodes : kSizes) {
+    for (const unsigned k : kRadixes) {
+      const FatTreeTopology t = FatTreeTopology::make(nodes, k);
+      for (const auto& [a, b] : sample_pairs(nodes)) {
+        const unsigned h = t.hops(a, b);
+        EXPECT_EQ(h, t.hops(b, a));
+        EXPECT_GE(h, 1u);
+        EXPECT_LE(h, 2 * t.levels - 1);
+        // 1 hop exactly when both endpoints share a leaf router.
+        EXPECT_EQ(h == 1, a / k == b / k) << "a=" << a << " b=" << b;
+      }
+    }
+  }
+}
+
+TEST(FatTreeProperty, ClosedFormCountsMatchConstruction) {
+  // Construction is cheap enough to verify the closed forms against every
+  // size (a 1024-endpoint radix-2 tree is 5120 routers) — plus a
+  // non-power-of-radix size, where the tree rounds up and surplus leaf
+  // ports stay unpopulated.
+  struct Case {
+    std::size_t nodes;
+    unsigned radix;
+    bool slow;
+  };
+  const Case cases[] = {
+      {256, 4, false}, {256, 2, false}, {100, 4, false},
+      {512, 8, false}, {1024, 2, true}, {1024, 4, true},
+      {1024, 8, true},
+  };
+  for (const Case& c : cases) {
+    if (c.slow && !scale_slow()) {
+      continue;
+    }
+    sim::Kernel kernel;
+    FatTreeNetwork::Params p;
+    p.nodes = c.nodes;
+    p.radix = c.radix;
+    FatTreeNetwork net(kernel, "net", p);
+    const FatTreeTopology& t = net.topology();
+    EXPECT_EQ(net.router_count(), t.router_count());
+    EXPECT_EQ(net.link_count(), t.link_count());
+    EXPECT_EQ(t.router_count(),
+              static_cast<std::size_t>(t.levels) * t.routers_per_level);
+    std::size_t per_level_sum = 0;
+    for (unsigned l = 0; l < t.levels; ++l) {
+      per_level_sum += t.routers_at_level(l);
+    }
+    EXPECT_EQ(per_level_sum, t.router_count());
+    EXPECT_EQ(t.routers_at_level(t.levels), 0u);
+    EXPECT_EQ(t.link_count(),
+              2 * c.nodes + 2ull * c.radix * t.routers_per_level *
+                                (t.levels - 1));
+  }
+}
+
+/// Drive a full permutation (every node sends to (node + nodes/2) % nodes)
+/// through a real network and audit: everything injected must be
+/// delivered — no drops, nothing in flight — which a routing deadlock or
+/// credit leak would break.
+void run_permutation_audit(std::size_t nodes, unsigned radix) {
+  sim::Kernel kernel;
+  kernel.set_event_limit(200'000'000);
+  FatTreeNetwork::Params p;
+  p.nodes = nodes;
+  p.radix = radix;
+  FatTreeNetwork net(kernel, "net", p);
+  std::vector<unsigned> got(nodes, 0);
+  for (sim::NodeId n = 0; n < nodes; ++n) {
+    net.set_endpoint(n, [&got, &net, n](Packet&& pkt) {
+      ++got[n];
+      net.consume_done(n, pkt.priority);
+    });
+  }
+  // All sources inject concurrently: the up paths contend for router
+  // ports and links everywhere, which is the traffic a cyclic-dependency
+  // bug would deadlock under.
+  for (sim::NodeId src = 0; src < nodes; ++src) {
+    const auto dst = static_cast<sim::NodeId>((src + nodes / 2) % nodes);
+    sim::spawn(net.inject(make_packet(src, dst, 32)));
+  }
+  kernel.run();
+  const Network::Audit a = net.audit();
+  EXPECT_EQ(a.injected, nodes);
+  EXPECT_EQ(a.delivered, nodes);
+  EXPECT_EQ(a.dropped, 0u);
+  EXPECT_TRUE(a.balanced());
+  EXPECT_EQ(a.in_flight(), 0u);
+  for (sim::NodeId n = 0; n < nodes; ++n) {
+    EXPECT_EQ(got[n], 1u) << "node " << n;
+  }
+}
+
+TEST(FatTreeProperty, PermutationTrafficAudits256) {
+  for (const unsigned k : kRadixes) {
+    run_permutation_audit(256, k);
+  }
+}
+
+TEST(FatTreeProperty, PermutationTrafficAudits512) {
+  run_permutation_audit(512, 8);
+}
+
+TEST(FatTreeProperty, PermutationTrafficAudits1024) {
+  if (!scale_slow()) {
+    GTEST_SKIP() << "set SV_SCALE_SLOW=1 to run the 1024-endpoint audits";
+  }
+  for (const unsigned k : kRadixes) {
+    run_permutation_audit(1024, k);
+  }
+}
+
+}  // namespace
+}  // namespace sv::net

@@ -1,0 +1,135 @@
+// Memory and construction-cost budgets for large machines (the 1024-node
+// tentpole). Uses the same global-allocator hook as alloc_hook_test, but
+// counting requested bytes rather than call counts: cumulative allocation
+// during Machine construction divided by node count must stay within a
+// per-node budget, which is what keeps 1024 nodes inside a laptop's RAM.
+// Also pins the laziness invariants directly: an idle node materializes no
+// cache sets and no clsSRAM chunks.
+//
+// The 128-node cases run in every lane; the 1024-node case is gated on
+// SV_SCALE_SLOW=1 (the CI scale-smoke job sets it). Time budgets are per
+// node and generous enough for sanitizer lanes.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <new>
+
+#include "sys/machine.hpp"
+
+namespace {
+
+std::atomic<std::uint64_t> g_bytes{0};
+
+}  // namespace
+
+// Counting global allocator: cumulative requested bytes. Frees are not
+// tracked — construction cost is what the budgets bound, and a transient
+// buffer counts against it like a retained one (both are peak pressure).
+void* operator new(std::size_t n) {
+  g_bytes.fetch_add(n, std::memory_order_relaxed);
+  if (void* p = std::malloc(n)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  g_bytes.fetch_add(n, std::memory_order_relaxed);
+  return std::malloc(n);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+namespace sv {
+namespace {
+
+bool scale_slow() {
+  const char* v = std::getenv("SV_SCALE_SLOW");
+  return v != nullptr && v[0] == '1';
+}
+
+sys::Machine::Params scale_params(std::size_t nodes,
+                                  sys::Machine::NetKind net) {
+  sys::Machine::Params p;
+  p.nodes = nodes;
+  p.net = net;
+  p.node.dram_size = 8ull * 1024 * 1024;
+  p.node.scoma_size = 1ull * 1024 * 1024;
+  p.node.numa_backing_size = 8ull * 1024 * 1024;
+  return p;
+}
+
+struct BuildCost {
+  std::uint64_t bytes_per_node;
+  double ms_per_node;
+};
+
+BuildCost measure_build(std::unique_ptr<sys::Machine>& out,
+                        std::size_t nodes, sys::Machine::NetKind net) {
+  const std::uint64_t before = g_bytes.load(std::memory_order_relaxed);
+  const auto t0 = std::chrono::steady_clock::now();
+  out = std::make_unique<sys::Machine>(scale_params(nodes, net));
+  const auto t1 = std::chrono::steady_clock::now();
+  const std::uint64_t after = g_bytes.load(std::memory_order_relaxed);
+  return BuildCost{
+      (after - before) / nodes,
+      std::chrono::duration<double, std::milli>(t1 - t0).count() /
+          static_cast<double>(nodes),
+  };
+}
+
+// Budgets. The lazy-state work (cache sets, clsSRAM chunks, sparse
+// backing pages) put measured cost around 200KB and well under 0.5ms per
+// node; the budgets leave ~4x headroom so they catch a regression to
+// eager allocation (a 512KB cache alone would blow the byte budget)
+// without flaking on slow hosts or sanitizer lanes.
+constexpr std::uint64_t kBytesPerNodeBudget = 768ull * 1024;
+constexpr double kMsPerNodeBudget = 10.0;
+
+TEST(ScaleMemory, IdleNodesStayLazy) {
+  sys::Machine machine(scale_params(128, sys::Machine::NetKind::kIdeal));
+  for (sim::NodeId i = 0; i < machine.size(); ++i) {
+    sys::Node& node = machine.node(i);
+    EXPECT_EQ(node.cache().sets_materialized(), 0u) << "node " << i;
+    EXPECT_EQ(node.niu().ctrl().cls().chunks_materialized(), 0u)
+        << "node " << i;
+  }
+}
+
+TEST(ScaleMemory, ConstructionBudgets128) {
+  std::unique_ptr<sys::Machine> machine;
+  const BuildCost c =
+      measure_build(machine, 128, sys::Machine::NetKind::kFatTree);
+  RecordProperty("bytes_per_node", static_cast<int>(c.bytes_per_node));
+  EXPECT_LE(c.bytes_per_node, kBytesPerNodeBudget);
+  EXPECT_LE(c.ms_per_node, kMsPerNodeBudget);
+}
+
+TEST(ScaleMemory, ConstructionBudgets1024) {
+  if (!scale_slow()) {
+    GTEST_SKIP() << "set SV_SCALE_SLOW=1 to run the 1024-node budgets";
+  }
+  std::unique_ptr<sys::Machine> machine;
+  const BuildCost c =
+      measure_build(machine, 1024, sys::Machine::NetKind::kFatTree);
+  RecordProperty("bytes_per_node", static_cast<int>(c.bytes_per_node));
+  EXPECT_LE(c.bytes_per_node, kBytesPerNodeBudget);
+  EXPECT_LE(c.ms_per_node, kMsPerNodeBudget);
+  // Per-node cost must not grow with machine size (the O(nodes^2) trap):
+  // compare against a small machine built the same way.
+  std::unique_ptr<sys::Machine> small;
+  const BuildCost s =
+      measure_build(small, 64, sys::Machine::NetKind::kFatTree);
+  EXPECT_LE(c.bytes_per_node, s.bytes_per_node * 3)
+      << "per-node allocation grows superlinearly with machine size";
+}
+
+}  // namespace
+}  // namespace sv

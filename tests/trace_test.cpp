@@ -1,6 +1,7 @@
 // Tracer ring-buffer semantics, Chrome JSON round-trip, and the
 // end-to-end guarantee that trace-derived occupancy agrees with the
 // StatRegistry occupancy for the same run.
+#include <algorithm>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -95,6 +96,121 @@ TEST(ChromeSink, RoundTripsThroughAnalysis) {
   EXPECT_EQ(flows[0].hops, 2u);
   EXPECT_EQ(flows[0].latency_ps(), 3'000'000u);
   EXPECT_EQ(flows[0].by_category_ps.at("link"), 2'000'000u);
+}
+
+// Split a Chrome JSON document into the individual record lines, with
+// metadata ("M") records separated out: the streaming sink emits those
+// lazily (at a lane's first event) where the batch writer front-loads
+// them, but every other record must match byte-for-byte and in order.
+struct SplitRecords {
+  std::vector<std::string> meta;
+  std::vector<std::string> records;
+};
+SplitRecords split_records(const std::string& json) {
+  SplitRecords out;
+  std::istringstream is(json);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.rfind("{\"ph\":", 0) != 0) {
+      continue;  // header / footer
+    }
+    if (!line.empty() && line.back() == ',') {
+      line.pop_back();
+    }
+    if (line.rfind("{\"ph\":\"M\"", 0) == 0) {
+      out.meta.push_back(line);
+    } else {
+      out.records.push_back(line);
+    }
+  }
+  return out;
+}
+
+TEST(ChromeStreamSink, MatchesBatchWriterRecords) {
+  // One tracer, recorded once, exported both ways. Events are emitted in
+  // track-registration order so both emitters assign identical pids/tids.
+  Tracer tr;
+  std::ostringstream stream_os;
+  ChromeStreamSink sink(stream_os);
+  tr.set_sink(&sink);
+
+  const TrackId bus = tr.track("n0", "bus", "bus");
+  const TrackId link = tr.track("net", "inj0", "link");
+  const TrackId depth = tr.track("n1", "txq0", "queue", /*counter=*/true);
+  const std::uint64_t flow = tr.next_flow();
+  tr.span(bus, "Read", 1'000'000, 2'000'000);
+  tr.span(link, "pkt>n1", 3'000'000, 4'000'000, flow);
+  tr.instant(bus, "kick", 3'500'000);
+  tr.span(link, "pkt>n1", 5'000'000, 6'000'000, flow);
+  tr.counter(depth, 4'000'000, 2.0);
+  sink.finish(10'000'000);
+  tr.set_sink(nullptr);
+
+  std::ostringstream batch_os;
+  write_chrome_trace(tr, batch_os, ChromeWriteOptions{10'000'000});
+
+  const SplitRecords streamed = split_records(stream_os.str());
+  const SplitRecords batch = split_records(batch_os.str());
+  EXPECT_EQ(streamed.records, batch.records);
+  // Metadata: same set, different placement.
+  auto streamed_meta = streamed.meta;
+  auto batch_meta = batch.meta;
+  std::sort(streamed_meta.begin(), streamed_meta.end());
+  std::sort(batch_meta.begin(), batch_meta.end());
+  EXPECT_EQ(streamed_meta, batch_meta);
+
+  // Both parse to the same analysis.
+  const TraceAnalysis sa = TraceAnalysis::parse_text(stream_os.str());
+  const TraceAnalysis ba = TraceAnalysis::parse_text(batch_os.str());
+  EXPECT_EQ(sa.sim_now_ps, ba.sim_now_ps);
+  EXPECT_EQ(sa.spans.size(), ba.spans.size());
+  EXPECT_EQ(sa.counter_samples, ba.counter_samples);
+  ASSERT_EQ(sa.flows().size(), 1u);
+  EXPECT_EQ(sa.flows()[0].latency_ps(), ba.flows()[0].latency_ps());
+}
+
+TEST(ChromeStreamSink, StreamsPastRingOverwrites) {
+  // A tiny ring drops events from the ring, but the streamed file keeps
+  // every one — that is the point of the sink.
+  Tracer tr(2);
+  std::ostringstream os;
+  ChromeStreamSink sink(os);
+  tr.set_sink(&sink);
+  const TrackId t = tr.track("p", "lane", "test");
+  for (int i = 0; i < 8; ++i) {
+    tr.span(t, "s" + std::to_string(i), 10'000 * i, 10'000 * i + 5'000);
+  }
+  sink.finish(100'000);
+  EXPECT_EQ(tr.dropped(), 6u);
+  EXPECT_EQ(sink.events_written(), 8u);
+  const TraceAnalysis a = TraceAnalysis::parse_text(os.str());
+  EXPECT_EQ(a.spans.size(), 8u);
+}
+
+TEST(ChromeStreamSink, FlowTableBoundEvictsOldestChainIntact) {
+  Tracer tr;
+  std::ostringstream os;
+  ChromeStreamSink::Options opts;
+  opts.max_pending_flows = 2;
+  ChromeStreamSink sink(os, opts);
+  tr.set_sink(&sink);
+  const TrackId a = tr.track("n0", "tx", "link");
+  const TrackId b = tr.track("n1", "rx", "link");
+  // Four flows, each complete (2 hops) before the next starts: evictions
+  // flush finished chains, so no arrows are lost.
+  for (int f = 0; f < 4; ++f) {
+    const std::uint64_t id = tr.next_flow();
+    const sim::Tick base = 1'000'000 * (f + 1);
+    tr.span(a, "send", base, base + 100'000, id);
+    tr.span(b, "recv", base + 200'000, base + 300'000, id);
+  }
+  sink.finish(10'000'000);
+  EXPECT_EQ(sink.flows_evicted(), 2u);
+  const auto flows = TraceAnalysis::parse_text(os.str()).flows();
+  ASSERT_EQ(flows.size(), 4u);
+  for (const auto& fl : flows) {
+    EXPECT_EQ(fl.hops, 2u);
+  }
 }
 
 TEST(TraceIntegration, XferTraceMatchesStatRegistry) {

@@ -30,6 +30,10 @@
 //
 // Common keys: nodes=N net=fattree|ideal radix=K stats=0|1
 //   stats_format=text|json deadline_ms=N trace=FILE trace_buf=N
+//   trace_stream=FILE (stream Chrome JSON incrementally: bounded memory
+//   for arbitrarily long traces, no ring overwrites in the file;
+//   sequential machines only — a partitioned run has no global record
+//   order until the merge)
 //
 // Parallel execution: threads=N partitions the machine into one event
 // domain per node on N worker threads (results are bit-identical to
@@ -57,8 +61,10 @@
 //   (key=value spellings ckpt.at / ckpt.every / ckpt.out also work.)
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <functional>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -677,9 +683,27 @@ int main(int argc, char** argv) {
   sys::Machine& machine = *machine_ptr;
 
   const std::string trace_file = cfg.get_string("trace", "");
-  if (!trace_file.empty()) {
+  const std::string trace_stream = cfg.get_string("trace_stream", "");
+  if (!trace_file.empty() || !trace_stream.empty()) {
     machine.enable_tracing(
         cfg.get_u64("trace_buf", trace::Tracer::kDefaultCapacity));
+  }
+  std::ofstream stream_os;
+  std::unique_ptr<trace::ChromeStreamSink> stream_sink;
+  if (!trace_stream.empty()) {
+    if (machine.tracers().size() != 1) {
+      std::fprintf(stderr,
+                   "svsim: trace_stream requires a sequential machine "
+                   "(threads=0); use trace= for partitioned runs\n");
+      return 2;
+    }
+    stream_os.open(trace_stream);
+    if (!stream_os) {
+      std::fprintf(stderr, "svsim: cannot open %s\n", trace_stream.c_str());
+      return 2;
+    }
+    stream_sink = std::make_unique<trace::ChromeStreamSink>(stream_os);
+    machine.tracer()->set_sink(stream_sink.get());
   }
 
   Harness harness(machine, cfg);
@@ -710,6 +734,19 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  if (stream_sink) {
+    stream_sink->finish(machine.now());
+    machine.tracer()->set_sink(nullptr);
+    if (!stream_os) {
+      std::fprintf(stderr, "svsim: write failed for %s\n",
+                   trace_stream.c_str());
+      return 1;
+    }
+    std::printf("trace: %llu events streamed (%llu flows evicted) -> %s\n",
+                static_cast<unsigned long long>(stream_sink->events_written()),
+                static_cast<unsigned long long>(stream_sink->flows_evicted()),
+                trace_stream.c_str());
+  }
   if (!trace_file.empty()) {
     // Merge the per-domain tracers into one canonical timeline — for a
     // sequential machine that is a single-tracer merge, so the file is the
